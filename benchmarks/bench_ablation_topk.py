@@ -1,0 +1,60 @@
+"""Ablation A3: top-k flow preselection (the paper's §VI future work).
+
+Compares full Revelio against :class:`TopKRevelio` at several budgets
+``k`` and across preselection strategies, reporting explanation quality
+(motif AUC) and per-instance runtime. The future-work hypothesis: a small
+``k`` retains most quality at lower cost on dense instances.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Revelio, TopKRevelio
+from repro.eval import ExperimentConfig, build_instances, mean_explanation_auc
+from repro.nn.zoo import get_model
+
+from conftest import write_result
+
+K_VALUES = (8, 32, 128)
+STRATEGIES = ("gradient", "walk_weight", "random")
+
+
+def test_ablation_topk_preselection(benchmark):
+    """AUC and runtime vs preselection budget on BA-Shapes/GCN."""
+    model, dataset, _ = get_model("ba_shapes", "gcn")
+    config = ExperimentConfig()
+    epochs = max(25, int(500 * config.resolved_effort()))
+    instances = build_instances(dataset, config.resolved_instances(), seed=0,
+                                motif_only=True, correct_only=True, model=model)
+    if not instances:
+        instances = build_instances(dataset, config.resolved_instances(), seed=0,
+                                    motif_only=True)
+    graphs = [inst.graph for inst in instances]
+
+    def run():
+        rows = [f"{'variant':<24} {'auc':>6} {'sec/inst':>9}"]
+
+        def evaluate(explainer, label):
+            t0 = time.perf_counter()
+            explanations = [explainer.explain(i.graph, target=i.target)
+                            for i in instances]
+            elapsed = (time.perf_counter() - t0) / len(instances)
+            auc = mean_explanation_auc(graphs, explanations)
+            rows.append(f"{label:<24} {auc:>6.3f} {elapsed:>8.3f}s")
+
+        evaluate(Revelio(model, epochs=epochs, seed=0), "full")
+        for k in K_VALUES:
+            evaluate(TopKRevelio(model, k=k, epochs=epochs, seed=0), f"topk(k={k})")
+        for strategy in STRATEGIES[1:]:
+            evaluate(TopKRevelio(model, k=K_VALUES[1], strategy=strategy,
+                                 epochs=epochs, seed=0),
+                     f"topk(k={K_VALUES[1]}, {strategy})")
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("ablation_topk", rows,
+                 header="Ablation A3 — top-k flow preselection (ba_shapes, GCN)")

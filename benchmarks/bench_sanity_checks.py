@@ -1,0 +1,54 @@
+"""Extension bench: model-randomization sanity checks per method.
+
+Adapts Adebayo et al.'s sanity checks (the paper's reference [1], used to
+argue LRP-style attributions can be unfaithful) to GNN explainers: each
+method explains the same instances with the trained target and with a
+weight-randomized copy; low similarity between the two = the method's
+output actually depends on the model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import ExperimentConfig, build_instances, model_randomization_check
+from repro.eval.experiments import method_config
+from repro.explain import make_explainer
+from repro.nn.zoo import get_model
+
+from conftest import write_result
+
+METHODS = ("gradcam", "deeplift", "gnnexplainer", "gnn_lrp", "flowx", "revelio")
+
+
+def test_sanity_checks(benchmark):
+    """Run the randomization check for every method on BA-Shapes/GCN."""
+    model, dataset, _ = get_model("ba_shapes", "gcn")
+    config = ExperimentConfig()
+    effort = config.resolved_effort()
+    instances = build_instances(dataset, min(3, config.resolved_instances()), seed=0,
+                                motif_only=True, correct_only=True, model=model)
+    if not instances:
+        instances = build_instances(dataset, 3, seed=0, motif_only=True)
+
+    def run():
+        rows = [f"{'method':<14} {'rank_corr':>10} {'overlap':>8}  verdict"]
+        for method in METHODS:
+            corrs, overlaps = [], []
+            for inst in instances:
+                result = model_randomization_check(
+                    lambda m: make_explainer(method, m, seed=0,
+                                             **method_config(method, effort)),
+                    model, inst.graph, target=inst.target)
+                corrs.append(result.rank_correlation)
+                overlaps.append(result.top_k_overlap)
+            mean_overlap = float(np.mean(overlaps))
+            verdict = "PASS" if mean_overlap < 0.6 else "FAIL"
+            rows.append(f"{method:<14} {np.mean(corrs):>10.3f} "
+                        f"{mean_overlap:>8.2f}  {verdict}")
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("sanity_checks", rows,
+                 header="Extension — model-randomization sanity checks (ba_shapes, GCN)")

@@ -1,0 +1,28 @@
+"""Table III: dataset statistics and target-model accuracies.
+
+Regenerates the metadata block and the GCN/GIN/GAT accuracy columns for
+the configured datasets, then benchmarks a full-graph forward pass (the
+unit the training loop repeats).
+"""
+
+from __future__ import annotations
+
+from repro.eval import ExperimentConfig, run_dataset_table
+from repro.nn.zoo import get_model
+
+from conftest import bench_convs, bench_datasets, write_result
+
+DATASETS = bench_datasets(("ba_shapes", "tree_cycles", "mutag", "ba_2motifs"))
+CONVS = bench_convs(("gcn", "gin"))
+
+
+def test_table3_rows(benchmark):
+    """Regenerate Table III and benchmark one GCN forward pass."""
+    result = run_dataset_table(dataset_names=DATASETS, convs=CONVS,
+                               config=ExperimentConfig())
+    write_result("table3_datasets", result["rows"],
+                 header="Table III — dataset statistics and model accuracy")
+
+    model, dataset, _ = get_model(DATASETS[0], CONVS[0])
+    graph = dataset.graph if dataset.task == "node" else dataset.graphs[0]
+    benchmark(lambda: model.predict_proba(graph))

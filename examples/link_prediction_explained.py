@@ -1,0 +1,71 @@
+"""Explaining link predictions — the recommender-system use case.
+
+The paper motivates flow explanations with "understanding the
+decision-making processes and user behaviors in a recommender knowledge
+graph" (§I). This example builds that scenario end to end on a synthetic
+co-interaction graph: train a link predictor, pick a strongly-predicted
+link, and ask Revelio *which message flows make the model believe these
+two nodes should connect* — and which flows, if removed, would break the
+recommendation.
+
+Run:  python examples/link_prediction_explained.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import LinkRevelio
+from repro.graph import Graph, sbm_edges
+from repro.nn import LinkPredictor, train_link_predictor
+from repro.viz import format_top_flows
+
+
+def build_interaction_graph(seed: int = 0) -> Graph:
+    """Two user communities with dense within-community interaction."""
+    rng = np.random.default_rng(seed)
+    edges = sbm_edges([25, 25], 0.3, 0.02, rng=rng)
+    communities = np.array([0] * 25 + [1] * 25)
+    x = rng.normal(size=(50, 8)) + communities[:, None] * 1.5
+    return Graph(edge_index=edges, x=x, y=communities)
+
+
+def main() -> None:
+    graph = build_interaction_graph()
+    model = LinkPredictor("gcn", graph.num_features, 16, rng=0)
+    result = train_link_predictor(model, graph, epochs=100, rng=0)
+    print(f"link predictor trained: {result}\n")
+
+    # Find the strongest predicted *missing* link (the recommendation).
+    from repro.nn import sample_negative_edges
+
+    candidates = sample_negative_edges(graph, 200, rng=1)
+    probs = model.predict_proba(graph, candidates)
+    u, v = (int(x) for x in candidates[int(np.argmax(probs))])
+    same = "same" if graph.y[u] == graph.y[v] else "different"
+    print(f"strongest recommendation: {u} -> {v} "
+          f"(p={probs.max():.3f}, {same} community)\n")
+
+    explainer = LinkRevelio(model, epochs=250, lr=1e-2, alpha=0.05, seed=0)
+
+    factual = explainer.explain(graph, u, v)
+    print(format_top_flows(
+        factual, k=8,
+        title=f"why the model recommends {u} -> {v} (factual flows):"))
+    print()
+
+    counterfactual = explainer.explain(graph, u, v, mode="counterfactual")
+    print(format_top_flows(
+        counterfactual, k=8,
+        title="flows whose removal would break the recommendation:"))
+
+    # How much of the explanation passes through the shared community?
+    from repro.analysis import mass_through_nodes
+
+    community = {int(n) for n in np.flatnonzero(graph.y == graph.y[u])}
+    mass = mass_through_nodes(factual, community)
+    print(f"\n{mass:.0%} of the factual flow mass stays inside node {u}'s community.")
+
+
+if __name__ == "__main__":
+    main()

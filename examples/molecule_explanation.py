@@ -1,0 +1,76 @@
+"""Graph classification: why did the GNN call this molecule mutagenic?
+
+The paper motivates flow explanations with domains like drug discovery,
+where *reasoning about the candidates* matters as much as the prediction.
+This example trains a GIN on the MUTAG surrogate (molecules labelled by
+the presence of a nitro-like group), explains a positive prediction with
+both Revelio and GNNExplainer, and checks whether the explanations
+recover the planted functional group — including comparing flow-level vs
+edge-level views of the same prediction.
+
+Run:  python examples/molecule_explanation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Revelio
+from repro.explain import GNNExplainer
+from repro.nn import get_model
+from repro.viz import explanation_summary, format_top_flows, render_explanation
+
+ATOMS = ("C", "N", "O", "halogen", "S", "P", "misc")
+
+
+def describe_molecule(graph) -> str:
+    types = graph.x.argmax(axis=1)
+    counts = {ATOMS[t]: int((types == t).sum()) for t in set(types.tolist())}
+    formula = " ".join(f"{a}{n}" for a, n in sorted(counts.items()))
+    return f"{graph.num_nodes} atoms ({formula}), {graph.num_edges // 2} bonds"
+
+
+def main() -> None:
+    model, dataset, trained = get_model("mutag", "gin", scale=0.5, seed=0)
+    if trained is not None:
+        print(f"trained target model: {trained}")
+
+    # A mutagenic molecule the model classifies correctly.
+    molecule = next(g for g in dataset.graphs
+                    if int(g.y) == 1 and model.predict(g)[0] == 1)
+    proba = model.predict_proba(molecule)[0]
+    print(f"molecule: {describe_molecule(molecule)}")
+    print(f"model prediction: mutagenic with p={proba[1]:.3f}")
+    print(f"planted nitro group edges: {sorted(molecule.motif_edges)}")
+    print()
+
+    # Flow-level explanation.
+    revelio = Revelio(model, epochs=300, lr=1e-2, alpha=0.02, seed=0)
+    flow_explanation = revelio.explain(molecule)
+    print(format_top_flows(flow_explanation, k=8,
+                           title="Revelio: top-8 message flows"))
+    print()
+
+    # Edge-level baseline for comparison.
+    gnnexplainer = GNNExplainer(model, epochs=300, seed=0)
+    edge_explanation = gnnexplainer.explain(molecule)
+
+    for exp in (flow_explanation, edge_explanation):
+        summary = explanation_summary(molecule, exp, k=8)
+        print(f"{exp.method:>13}: {summary['top_in_motif']}/{summary['motif_size']} "
+              f"nitro-group edges in its top-8")
+    print()
+    print(render_explanation(molecule, flow_explanation, k=8))
+
+    # Flow view adds information the edge view cannot express: which
+    # multi-hop paths carry the nitro signal to the readout.
+    nitro_atoms = {u for u, v in molecule.motif_edges} | {v for _, v in molecule.motif_edges}
+    through_nitro = [
+        (seq, score) for seq, score in flow_explanation.top_flows(20)
+        if any(v in nitro_atoms for v in seq)
+    ]
+    print(f"\n{len(through_nitro)} of the top-20 flows pass through the nitro group.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro — reproduction of *Revelio: Revealing Important Message Flows in
+Graph Neural Networks* (He, King & Huang, ICDE 2025).
+
+Quickstart
+----------
+>>> from repro import load_dataset, get_model, Revelio
+>>> model, dataset, _ = get_model("ba_shapes", "gcn", scale=0.25)
+>>> explainer = Revelio(model, epochs=200)
+>>> node = int(dataset.motif_nodes[0])
+>>> explanation = explainer.explain(dataset.graph, target=node)
+>>> explanation.top_flows(5)          # the most important message flows
+>>> explanation.top_edges(6)          # transferred edge importance
+
+Package map
+-----------
+``repro.core``      Revelio (the paper's contribution)
+``repro.explain``   nine baselines + explainer framework
+``repro.flows``     message-flow enumeration / incidence / patterns
+``repro.nn``        GNN layers, models, training, pretrained-model zoo
+``repro.datasets``  paper benchmarks (synthetics exact; surrogates offline)
+``repro.eval``      fidelity / AUC / timing + per-artifact experiment runners
+``repro.graph``     graph containers and utilities
+``repro.autograd``  the numpy autodiff substrate
+``repro.viz``       flow tables, ASCII and DOT rendering
+"""
+
+from .core import Revelio
+from .datasets import DATASET_NAMES, load_dataset
+from .errors import ReproError
+from .explain import EXPLAINERS, Explainer, Explanation, make_explainer
+from .flows import FlowIndex, count_flows, enumerate_flows, match_flows
+from .graph import Graph, GraphBatch
+from .nn import GNN, Trainer, build_model, get_model
+from .version import __version__
+
+__all__ = [
+    "__version__",
+    "Revelio",
+    "Explainer",
+    "Explanation",
+    "make_explainer",
+    "EXPLAINERS",
+    "FlowIndex",
+    "enumerate_flows",
+    "count_flows",
+    "match_flows",
+    "Graph",
+    "GraphBatch",
+    "GNN",
+    "build_model",
+    "get_model",
+    "Trainer",
+    "load_dataset",
+    "DATASET_NAMES",
+    "ReproError",
+]

@@ -1,0 +1,31 @@
+"""Analysis utilities: method agreement, stability, flow statistics."""
+
+from .agreement import (
+    agreement_matrix,
+    edge_rank_correlation,
+    top_edge_overlap,
+    top_flow_overlap,
+)
+from .flow_stats import (
+    FlowStatistics,
+    explanation_concentration,
+    flow_statistics,
+    flows_per_edge_profile,
+    mass_through_nodes,
+)
+from .stability import StabilityReport, perturbation_stability, seed_stability
+
+__all__ = [
+    "edge_rank_correlation",
+    "top_edge_overlap",
+    "top_flow_overlap",
+    "agreement_matrix",
+    "StabilityReport",
+    "seed_stability",
+    "perturbation_stability",
+    "FlowStatistics",
+    "flow_statistics",
+    "flows_per_edge_profile",
+    "mass_through_nodes",
+    "explanation_concentration",
+]

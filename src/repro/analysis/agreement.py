@@ -1,0 +1,95 @@
+"""Agreement between explanation methods.
+
+The paper's qualitative sections (Tables VI/VII) compare how different
+flow methods rank the same instance. This module quantifies such
+comparisons: rank correlation of edge scores, top-k overlap of edges and
+flows, and pairwise agreement matrices across a panel of methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from ..errors import EvaluationError
+from ..explain.base import Explanation
+
+__all__ = ["edge_rank_correlation", "top_edge_overlap", "top_flow_overlap",
+           "agreement_matrix"]
+
+
+def _common_candidates(a: Explanation, b: Explanation) -> np.ndarray:
+    if a.edge_scores.shape != b.edge_scores.shape:
+        raise EvaluationError(
+            f"explanations cover different edge sets: {a.edge_scores.shape} vs "
+            f"{b.edge_scores.shape}"
+        )
+    if a.context_edge_positions is not None and b.context_edge_positions is not None:
+        common = np.intersect1d(a.context_edge_positions, b.context_edge_positions)
+    elif a.context_edge_positions is not None:
+        common = np.asarray(a.context_edge_positions)
+    elif b.context_edge_positions is not None:
+        common = np.asarray(b.context_edge_positions)
+    else:
+        common = np.arange(a.edge_scores.shape[0])
+    if common.size < 2:
+        raise EvaluationError("fewer than two comparable edges")
+    return common
+
+
+def edge_rank_correlation(a: Explanation, b: Explanation,
+                          method: str = "spearman") -> float:
+    """Rank correlation of two explanations' edge scores.
+
+    Computed over the intersection of their context edge sets.
+    """
+    common = _common_candidates(a, b)
+    x, y = a.edge_scores[common], b.edge_scores[common]
+    if np.allclose(x, x[0]) or np.allclose(y, y[0]):
+        return 0.0  # constant ranking carries no information
+    if method == "spearman":
+        return float(stats.spearmanr(x, y).statistic)
+    if method == "kendall":
+        return float(stats.kendalltau(x, y).statistic)
+    raise EvaluationError(f"unknown correlation method {method!r}")
+
+
+def top_edge_overlap(a: Explanation, b: Explanation, k: int = 10) -> float:
+    """Jaccard overlap of the two explanations' top-``k`` edge sets."""
+    sa = set(int(e) for e in a.top_edges(k))
+    sb = set(int(e) for e in b.top_edges(k))
+    union = sa | sb
+    if not union:
+        raise EvaluationError("empty edge sets")
+    return len(sa & sb) / len(union)
+
+
+def top_flow_overlap(a: Explanation, b: Explanation, k: int = 10) -> float:
+    """Jaccard overlap of top-``k`` flows (by node sequence).
+
+    Both explanations must be flow-based; sequences are compared in
+    original-graph node ids so different context extractions line up.
+    """
+    sa = set(seq for seq, _ in a.top_flows(k))
+    sb = set(seq for seq, _ in b.top_flows(k))
+    union = sa | sb
+    if not union:
+        raise EvaluationError("empty flow sets")
+    return len(sa & sb) / len(union)
+
+
+def agreement_matrix(explanations: list[Explanation], k: int = 10,
+                     kind: str = "edges") -> tuple[np.ndarray, list[str]]:
+    """Pairwise top-``k`` overlap matrix across methods.
+
+    Returns ``(matrix, method_names)``; diagonal is 1.
+    """
+    n = len(explanations)
+    if n < 2:
+        raise EvaluationError("need at least two explanations to compare")
+    overlap = top_flow_overlap if kind == "flows" else top_edge_overlap
+    matrix = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            matrix[i, j] = matrix[j, i] = overlap(explanations[i], explanations[j], k=k)
+    return matrix, [e.method for e in explanations]

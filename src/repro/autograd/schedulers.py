@@ -1,0 +1,86 @@
+"""Learning-rate schedulers.
+
+Small, composable schedules for the long constant-feature training runs
+(the synthetic targets in :mod:`repro.nn.zoo` benefit from decay once the
+small-margin signal is found) and for mask-learning explainers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["Scheduler", "StepLR", "CosineAnnealingLR", "LinearWarmup"]
+
+
+class Scheduler:
+    """Base class: call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.epoch += 1
+        lr = self.compute_lr(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+    def compute_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepLR(Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def compute_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(Scheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def compute_lr(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class LinearWarmup(Scheduler):
+    """Linear ramp from 0 to the base rate over ``warmup_epochs``, then flat.
+
+    Optionally wraps another scheduler applied after warm-up finishes.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int,
+                 after: Scheduler | None = None):
+        super().__init__(optimizer)
+        if warmup_epochs <= 0:
+            raise ValueError("warmup_epochs must be positive")
+        self.warmup_epochs = warmup_epochs
+        self.after = after
+
+    def compute_lr(self, epoch: int) -> float:
+        if epoch <= self.warmup_epochs:
+            return self.base_lr * epoch / self.warmup_epochs
+        if self.after is not None:
+            return self.after.compute_lr(epoch - self.warmup_epochs)
+        return self.base_lr

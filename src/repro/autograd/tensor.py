@@ -1,0 +1,514 @@
+"""A reverse-mode automatic differentiation engine on numpy.
+
+This module provides the :class:`Tensor` class used throughout the library.
+It is a deliberately small but complete tape-based autograd implementation:
+each differentiable operation records its parents and a backward closure;
+:meth:`Tensor.backward` topologically sorts the tape and accumulates
+gradients.
+
+The op set covers everything message-passing GNNs and mask-learning
+explainers need: dense linear algebra, elementwise nonlinearities,
+reductions, row gather/scatter (the message-passing primitives),
+concatenation and basic indexing. Gradients are verified against central
+finite differences in ``tests/autograd``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import AutogradError, ShapeError
+
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled", "concat", "stack", "where"]
+
+_GRAD_ENABLED = [True]
+
+# Backward closures receive (upstream_grad, grads_dict) and route
+# contributions to parents via Tensor._receive.
+BackwardFn = Callable[[np.ndarray, dict], None]
+
+
+class no_grad:
+    """Context manager that disables gradient recording.
+
+    Inside the context, new operations do not build the tape. Mirrors
+    ``torch.no_grad`` semantics for the subset we need (inference, metric
+    computation, perturbation-based explainers).
+    """
+
+    def __enter__(self) -> "no_grad":
+        self._prev = _GRAD_ENABLED[0]
+        _GRAD_ENABLED[0] = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _GRAD_ENABLED[0] = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradients."""
+    return _GRAD_ENABLED[0]
+
+
+def as_tensor(value, requires_grad: bool = False) -> "Tensor":
+    """Coerce ``value`` (Tensor, array or scalar) into a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=np.float64), requires_grad=requires_grad)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed array with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; stored as ``float64``.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`. Ignored inside a :class:`no_grad` block.
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_retain", "name")
+
+    # Make numpy defer binary ops (np.ndarray * Tensor) to Tensor.
+    __array_priority__ = 100.0
+
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self.grad: np.ndarray | None = None
+        self._backward: BackwardFn | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self._retain = False
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}{label})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the scalar payload of a single-element tensor."""
+        if self.data.size != 1:
+            raise AutogradError(f"item() requires a single-element tensor, got shape {self.shape}")
+        return float(self.data.reshape(-1)[0])
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a detached deep copy."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def retain_grad(self) -> "Tensor":
+        """Request that :attr:`grad` be populated even for interior nodes.
+
+        Needed by gradient-based explainers (e.g. GradCAM) that inspect the
+        gradient of intermediate node embeddings. Returns ``self``.
+        """
+        self._retain = True
+        return self
+
+    # ------------------------------------------------------------------
+    # tape construction & backward
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"], backward: BackwardFn | None) -> "Tensor":
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _unary_op(self, data: np.ndarray, backward: BackwardFn) -> "Tensor":
+        return Tensor._make(data, (self,), backward)
+
+    def _binary_op(self, other: "Tensor", data: np.ndarray, backward: BackwardFn) -> "Tensor":
+        return Tensor._make(data, (self, other), backward)
+
+    def _receive(self, grad: np.ndarray, grads: dict) -> None:
+        """Accumulate an upstream gradient contribution during backward."""
+        if not self.requires_grad:
+            return
+        key = id(self)
+        if key in grads:
+            grads[key] = grads[key] + grad
+        else:
+            grads[key] = np.array(grad, dtype=np.float64, copy=True)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | float | None = None) -> None:
+        """Backpropagate from this tensor through the recorded tape.
+
+        Parameters
+        ----------
+        grad:
+            Upstream gradient. Defaults to 1 for scalar tensors; required
+            otherwise.
+        """
+        if not self.requires_grad:
+            raise AutogradError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise AutogradError(
+                    f"backward() without a gradient requires a scalar output, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.broadcast_to(np.asarray(grad, dtype=np.float64), self.data.shape)
+
+        # Topological order via iterative DFS: deep tapes (hundreds of mask
+        # learning epochs over multi-layer GNNs) would overflow recursion.
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): np.array(grad, copy=True)}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None or node._retain:
+                node._accumulate(node_grad)
+            if node._backward is not None:
+                node._backward(node_grad, grads)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(g, grads):
+            self._receive(_unbroadcast(g, self.shape), grads)
+            other._receive(_unbroadcast(g, other.shape), grads)
+
+        return self._binary_op(other, self.data + other.data, backward)
+
+    def __radd__(self, other) -> "Tensor":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(g, grads):
+            self._receive(_unbroadcast(g, self.shape), grads)
+            other._receive(_unbroadcast(-g, other.shape), grads)
+
+        return self._binary_op(other, self.data - other.data, backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(g, grads):
+            self._receive(_unbroadcast(g * other.data, self.shape), grads)
+            other._receive(_unbroadcast(g * self.data, other.shape), grads)
+
+        return self._binary_op(other, self.data * other.data, backward)
+
+    def __rmul__(self, other) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(g, grads):
+            self._receive(_unbroadcast(g / other.data, self.shape), grads)
+            other._receive(_unbroadcast(-g * self.data / (other.data**2), other.shape), grads)
+
+        return self._binary_op(other, self.data / other.data, backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        return self._unary_op(-self.data, lambda g, grads: self._receive(-g, grads))
+
+    def __pow__(self, exponent) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise AutogradError("tensor exponents are unsupported; compose exp/log instead")
+        exponent = float(exponent)
+
+        def backward(g, grads):
+            self._receive(g * exponent * self.data ** (exponent - 1), grads)
+
+        return self._unary_op(self.data**exponent, backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        if self.ndim != 2 or other.ndim != 2:
+            raise ShapeError(f"matmul expects 2-D tensors, got {self.shape} @ {other.shape}")
+
+        def backward(g, grads):
+            self._receive(g @ other.data.T, grads)
+            other._receive(self.data.T @ g, grads)
+
+        return self._binary_op(other, self.data @ other.data, backward)
+
+    # Comparisons yield plain numpy boolean arrays (non-differentiable).
+    def __gt__(self, other):
+        return self.data > (other.data if isinstance(other, Tensor) else other)
+
+    def __lt__(self, other):
+        return self.data < (other.data if isinstance(other, Tensor) else other)
+
+    def __ge__(self, other):
+        return self.data >= (other.data if isinstance(other, Tensor) else other)
+
+    def __le__(self, other):
+        return self.data <= (other.data if isinstance(other, Tensor) else other)
+
+    # ------------------------------------------------------------------
+    # elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+        return self._unary_op(data, lambda g, grads: self._receive(g * data, grads))
+
+    def log(self) -> "Tensor":
+        return self._unary_op(np.log(self.data), lambda g, grads: self._receive(g / self.data, grads))
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+        return self._unary_op(data, lambda g, grads: self._receive(g * 0.5 / data, grads))
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+        return self._unary_op(data, lambda g, grads: self._receive(g * (1.0 - data**2), grads))
+
+    def sigmoid(self) -> "Tensor":
+        clipped = np.clip(self.data, -500, 500)
+        data = np.where(
+            clipped >= 0,
+            1.0 / (1.0 + np.exp(-clipped)),
+            np.exp(clipped) / (1.0 + np.exp(clipped)),
+        )
+        return self._unary_op(data, lambda g, grads: self._receive(g * data * (1.0 - data), grads))
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        return self._unary_op(self.data * mask, lambda g, grads: self._receive(g * mask, grads))
+
+    def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
+        factor = np.where(self.data > 0, 1.0, negative_slope)
+        return self._unary_op(self.data * factor, lambda g, grads: self._receive(g * factor, grads))
+
+    def softplus(self) -> "Tensor":
+        data = np.logaddexp(0.0, self.data)
+        sig = 1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500)))
+        return self._unary_op(data, lambda g, grads: self._receive(g * sig, grads))
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        return self._unary_op(np.abs(self.data), lambda g, grads: self._receive(g * sign, grads))
+
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        mask = (self.data >= lo) & (self.data <= hi)
+        return self._unary_op(np.clip(self.data, lo, hi), lambda g, grads: self._receive(g * mask, grads))
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g, grads):
+            grad = g
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            self._receive(np.broadcast_to(grad, self.shape), grads)
+
+        return self._unary_op(data, backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g, grads):
+            expanded = data if (keepdims or axis is None) else np.expand_dims(data, axis=axis)
+            mask = self.data == expanded
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            grad = g if (keepdims or axis is None) else np.expand_dims(g, axis=axis)
+            self._receive(mask * grad / counts, grads)
+
+        return self._unary_op(data, backward)
+
+    # ------------------------------------------------------------------
+    # shape manipulation & indexing
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        return self._unary_op(
+            self.data.reshape(shape),
+            lambda g, grads: self._receive(g.reshape(original), grads),
+        )
+
+    def flatten(self) -> "Tensor":
+        return self.reshape(-1)
+
+    def transpose(self, axes: tuple[int, ...] | None = None) -> "Tensor":
+        inverse = None if axes is None else tuple(np.argsort(axes))
+        return self._unary_op(
+            self.data.transpose(axes),
+            lambda g, grads: self._receive(g.transpose(inverse), grads),
+        )
+
+    def __getitem__(self, index) -> "Tensor":
+        def backward(g, grads):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, g)
+            self._receive(full, grads)
+
+        return self._unary_op(self.data[index], backward)
+
+    # ------------------------------------------------------------------
+    # message-passing primitives
+    # ------------------------------------------------------------------
+    def gather_rows(self, index: np.ndarray) -> "Tensor":
+        """Select rows ``self[index]`` along axis 0 (``torch.index_select``).
+
+        The backward pass scatter-adds gradients back to the source rows —
+        the adjoint needed for per-edge message construction (``x[src]``).
+        """
+        index = np.asarray(index, dtype=np.int64)
+
+        def backward(g, grads):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, g)
+            self._receive(full, grads)
+
+        return self._unary_op(self.data[index], backward)
+
+    def scatter_add(self, index: np.ndarray, num_rows: int) -> "Tensor":
+        """Sum rows of ``self`` into ``num_rows`` output slots by ``index``.
+
+        ``out[index[i]] += self[i]`` — the aggregation step of message
+        passing; its adjoint is a row gather.
+        """
+        index = np.asarray(index, dtype=np.int64)
+        if index.shape[0] != self.shape[0]:
+            raise ShapeError(
+                f"scatter_add index length {index.shape[0]} != leading dim {self.shape[0]}"
+            )
+        data = np.zeros((num_rows,) + self.shape[1:], dtype=np.float64)
+        np.add.at(data, index, self.data)
+        return self._unary_op(data, lambda g, grads: self._receive(g[index], grads))
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0, *sizes])
+
+    def backward(grad, grads):
+        slicer: list = [slice(None)] * grad.ndim
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer[axis] = slice(int(start), int(stop))
+            tensor._receive(grad[tuple(slicer)], grads)
+
+    return Tensor._make(data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad, grads):
+        for i, tensor in enumerate(tensors):
+            tensor._receive(np.take(grad, i, axis=axis), grads)
+
+    return Tensor._make(data, tensors, backward)
+
+
+def where(condition: np.ndarray, a, b) -> Tensor:
+    """Differentiable selection ``condition ? a : b`` (condition is data)."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    condition = np.asarray(condition, dtype=bool)
+
+    def backward(grad, grads):
+        a._receive(_unbroadcast(grad * condition, a.shape), grads)
+        b._receive(_unbroadcast(grad * (~condition), b.shape), grads)
+
+    return Tensor._make(np.where(condition, a.data, b.data), (a, b), backward)

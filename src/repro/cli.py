@@ -1,0 +1,169 @@
+"""Command-line interface: ``repro <command>`` / ``python -m repro``.
+
+Commands
+--------
+``repro datasets``                      list datasets with Table III stats
+``repro train -d cora -m gcn``          train & cache a target model
+``repro explain -d ba_shapes -m gcn -e revelio -t 412``
+                                        explain one instance
+``repro experiment fidelity -d mutag -m gin --mode factual``
+                                        regenerate one artifact's rows
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .datasets import DATASET_NAMES, dataset_task, load_dataset
+from .eval.experiments import (
+    ALL_METHODS,
+    COUNTERFACTUAL_METHODS,
+    ExperimentConfig,
+    run_alpha_sensitivity,
+    run_auc_experiment,
+    run_dataset_table,
+    run_fidelity_experiment,
+    run_runtime_experiment,
+)
+from .explain import make_explainer
+from .nn.zoo import get_model
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Revelio reproduction: message-flow explanations for GNNs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list datasets and their statistics")
+
+    p_train = sub.add_parser("train", help="train and cache a target model")
+    _common(p_train)
+
+    p_explain = sub.add_parser("explain", help="explain one instance")
+    _common(p_explain)
+    p_explain.add_argument("-e", "--explainer", default="revelio")
+    p_explain.add_argument("-t", "--target", type=int, default=None,
+                           help="node id (node tasks) or graph index (graph tasks)")
+    p_explain.add_argument("--mode", choices=("factual", "counterfactual"),
+                           default="factual")
+    p_explain.add_argument("--epochs", type=int, default=200)
+    p_explain.add_argument("--top-flows", type=int, default=10)
+    p_explain.add_argument("--top-edges", type=int, default=10)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p_exp.add_argument("artifact", choices=("table3", "fidelity", "auc", "runtime", "alpha"))
+    _common(p_exp)
+    p_exp.add_argument("--mode", choices=("factual", "counterfactual"), default="factual")
+    p_exp.add_argument("--instances", type=int, default=None)
+    p_exp.add_argument("--effort", type=float, default=None)
+
+    p_report = sub.add_parser("report", help="aggregate benchmark artifacts into markdown")
+    p_report.add_argument("--results", default="benchmarks/results",
+                          help="directory of benchmark artifact files")
+    p_report.add_argument("-o", "--output", default=None,
+                          help="write to a file instead of stdout")
+    return parser
+
+
+def _common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-d", "--dataset", default="ba_shapes", choices=DATASET_NAMES)
+    p.add_argument("-m", "--model", default="gcn", choices=("gcn", "gin", "gat"))
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "datasets":
+        for name in DATASET_NAMES:
+            ds = load_dataset(name)
+            print(ds.stats().row(), f"task={dataset_task(name)}")
+        return 0
+
+    if args.command == "train":
+        model, dataset, result = get_model(args.dataset, args.model, scale=args.scale,
+                                           seed=args.seed, use_cache=False, verbose=True)
+        print(f"{args.dataset}/{args.model}: {result}")
+        return 0
+
+    if args.command == "explain":
+        model, dataset, _ = get_model(args.dataset, args.model, scale=args.scale,
+                                      seed=args.seed)
+        explainer = make_explainer(args.explainer, model,
+                                   **({"epochs": args.epochs}
+                                      if args.explainer in ("revelio", "gnnexplainer")
+                                      else {}))
+        if dataset.task == "node":
+            target = args.target if args.target is not None else int(
+                dataset.graph.test_mask.nonzero()[0][0]
+                if dataset.graph.test_mask is not None else 0
+            )
+            graph = dataset.graph
+            explanation = explainer.explain(graph, target=target, mode=args.mode)
+        else:
+            idx = args.target if args.target is not None else 0
+            graph = dataset.graphs[idx]
+            explanation = explainer.explain(graph, mode=args.mode)
+        from .viz import render_explanation
+
+        print(render_explanation(graph, explanation, k=args.top_edges))
+        if explanation.flow_scores is not None:
+            from .viz import format_top_flows
+
+            print()
+            print(format_top_flows(explanation, k=args.top_flows))
+        return 0
+
+    if args.command == "experiment":
+        config = ExperimentConfig(scale=args.scale, seed=args.seed,
+                                  num_instances=args.instances, effort=args.effort)
+        if args.artifact == "table3":
+            result = run_dataset_table(config=config)
+        elif args.artifact == "fidelity":
+            methods = ALL_METHODS if args.mode == "factual" else COUNTERFACTUAL_METHODS
+            result = run_fidelity_experiment(args.dataset, args.model, methods,
+                                             mode=args.mode, config=config)
+        elif args.artifact == "auc":
+            result = run_auc_experiment(args.dataset, args.model, ALL_METHODS,
+                                        mode=args.mode, config=config)
+        elif args.artifact == "runtime":
+            result = run_runtime_experiment(args.dataset, args.model, ALL_METHODS,
+                                            config=config)
+        else:
+            result = run_alpha_sensitivity(args.dataset, args.model,
+                                           mode=args.mode, config=config)
+        for row in result["rows"]:
+            print(row)
+        if args.artifact in ("fidelity", "alpha") and result.get("curves"):
+            from .viz import render_curves
+
+            print()
+            curves = result["curves"]
+            if args.artifact == "alpha":
+                curves = {f"alpha={a}": c for a, c in curves.items()}
+            print(render_curves(curves))
+        return 0
+
+    if args.command == "report":
+        from .eval.report import build_report, write_report
+
+        if args.output:
+            path = write_report(args.results, args.output)
+            print(f"wrote {path}")
+        else:
+            print(build_report(args.results))
+        return 0
+
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Dataset registry keyed by the paper's names (Table III).
+
+``load_dataset("cora")`` etc. returns a :class:`NodeDataset` or
+:class:`GraphDataset`. The global experiment scale defaults to the
+``REPRO_SCALE`` environment variable (0.25 if unset) so the benchmark
+harness is tractable on CPU; ``REPRO_SCALE=1`` reproduces paper sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+from ..errors import DatasetError
+from .base import GraphDataset, NodeDataset
+from .citation import citeseer, cora, pubmed
+from .molecules import bbbp, mutag
+from .synthetic import ba_2motifs, ba_shapes, tree_cycles
+
+__all__ = ["DATASET_NAMES", "load_dataset", "default_scale", "dataset_task"]
+
+_BUILDERS: dict[str, Callable] = {
+    "cora": cora,
+    "citeseer": citeseer,
+    "pubmed": pubmed,
+    "ba_shapes": ba_shapes,
+    "tree_cycles": tree_cycles,
+    "mutag": mutag,
+    "bbbp": bbbp,
+    "ba_2motifs": ba_2motifs,
+}
+
+DATASET_NAMES = tuple(_BUILDERS)
+
+_TASKS = {
+    "cora": "node",
+    "citeseer": "node",
+    "pubmed": "node",
+    "ba_shapes": "node",
+    "tree_cycles": "node",
+    "mutag": "graph",
+    "bbbp": "graph",
+    "ba_2motifs": "graph",
+}
+
+
+def default_scale() -> float:
+    """Experiment scale from ``REPRO_SCALE`` (default 0.25)."""
+    return float(os.environ.get("REPRO_SCALE", "0.25"))
+
+
+def dataset_task(name: str) -> str:
+    """``"node"`` or ``"graph"`` for a registry name."""
+    if name not in _TASKS:
+        raise DatasetError(f"unknown dataset {name!r}; available: {sorted(_BUILDERS)}")
+    return _TASKS[name]
+
+
+def load_dataset(name: str, scale: float | None = None,
+                 seed: int | np.random.Generator | None = 0) -> NodeDataset | GraphDataset:
+    """Build the named dataset.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DATASET_NAMES` (case-insensitive; hyphens allowed).
+    scale:
+        Size multiplier; ``None`` uses :func:`default_scale`.
+    seed:
+        Generator seed for reproducibility.
+    """
+    key = name.lower().replace("-", "_")
+    if key not in _BUILDERS:
+        raise DatasetError(f"unknown dataset {name!r}; available: {sorted(_BUILDERS)}")
+    if scale is None:
+        scale = default_scale()
+    return _BUILDERS[key](scale=scale, seed=seed)

@@ -1,0 +1,68 @@
+"""Evaluation: fidelity, AUC, sparsity control, timing, experiment runners."""
+
+from .auc import explanation_auc, mean_explanation_auc, roc_auc
+from .fidelity import (
+    Instance,
+    class_probability,
+    fidelity_curve,
+    fidelity_minus,
+    fidelity_plus,
+)
+from .sparsity import (
+    explanatory_subgraph,
+    select_explanatory_edges,
+    unexplanatory_subgraph,
+)
+from .experiments import (
+    ALL_METHODS,
+    COUNTERFACTUAL_METHODS,
+    DEFAULT_SPARSITIES,
+    FACTUAL_METHODS,
+    ExperimentConfig,
+    build_instances,
+    method_config,
+    run_alpha_sensitivity,
+    run_auc_experiment,
+    run_dataset_table,
+    run_explainer,
+    run_fidelity_experiment,
+    run_runtime_experiment,
+)
+from .report import build_report, collect_artifacts, write_report
+from .sanity import SanityCheckResult, model_randomization_check, randomize_model
+from .timing import TimingResult, time_explainer
+
+__all__ = [
+    "ExperimentConfig",
+    "build_report",
+    "collect_artifacts",
+    "write_report",
+    "SanityCheckResult",
+    "model_randomization_check",
+    "randomize_model",
+    "ALL_METHODS",
+    "FACTUAL_METHODS",
+    "COUNTERFACTUAL_METHODS",
+    "DEFAULT_SPARSITIES",
+    "method_config",
+    "build_instances",
+    "run_explainer",
+    "run_fidelity_experiment",
+    "run_auc_experiment",
+    "run_runtime_experiment",
+    "run_alpha_sensitivity",
+    "run_dataset_table",
+    "Instance",
+    "class_probability",
+    "fidelity_minus",
+    "fidelity_plus",
+    "fidelity_curve",
+    "roc_auc",
+    "explanation_auc",
+    "mean_explanation_auc",
+    "select_explanatory_edges",
+    "explanatory_subgraph",
+    "unexplanatory_subgraph",
+    "TimingResult",
+    "time_explainer",
+]

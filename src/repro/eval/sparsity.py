@@ -1,0 +1,74 @@
+"""Sparsity-controlled subgraph construction.
+
+The paper's quantitative protocol (§V-B): at sparsity ratio ``s`` (the
+proportion of edges removed), the *explanatory* subgraph ``G^(s)`` keeps
+the top ``(1-s)·|E|`` scoring edges, and the *unexplanatory* subgraph
+``G^(s̄)`` is its complement — the graph with those explanatory edges
+removed. Fidelity− evaluates ``G^(s)``; Fidelity+ evaluates ``G^(s̄)``.
+
+For node-classification instances the ranking and removal are restricted
+to the target's L-hop computational subgraph — edges outside it cannot
+affect the explained prediction and are always retained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import EvaluationError
+from ..graph import Graph
+
+__all__ = ["select_explanatory_edges", "explanatory_subgraph", "unexplanatory_subgraph"]
+
+
+def select_explanatory_edges(edge_scores: np.ndarray, sparsity: float,
+                             candidate_edges: np.ndarray | None = None) -> np.ndarray:
+    """Edge indices forming the explanatory set at a sparsity level.
+
+    Parameters
+    ----------
+    edge_scores:
+        ``(E,)`` importance per data edge.
+    sparsity:
+        Fraction of candidate edges to *remove*; the explanatory set keeps
+        the top ``(1 - sparsity)`` fraction.
+    candidate_edges:
+        Edge indices eligible for ranking (node tasks: the L-hop context).
+        ``None`` means all edges.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise EvaluationError(f"sparsity must be in [0, 1), got {sparsity}")
+    edge_scores = np.asarray(edge_scores, dtype=np.float64)
+    if candidate_edges is None:
+        candidate_edges = np.arange(edge_scores.shape[0])
+    candidate_edges = np.asarray(candidate_edges, dtype=np.int64)
+    if candidate_edges.size == 0:
+        return candidate_edges
+    keep = max(1, int(round((1.0 - sparsity) * candidate_edges.size)))
+    order = np.argsort(-edge_scores[candidate_edges], kind="stable")
+    return candidate_edges[order[:keep]]
+
+
+def explanatory_subgraph(graph: Graph, edge_scores: np.ndarray, sparsity: float,
+                         candidate_edges: np.ndarray | None = None) -> Graph:
+    """``G^(s)``: keep explanatory edges, drop the other candidates.
+
+    Edges outside ``candidate_edges`` are always retained.
+    """
+    chosen = select_explanatory_edges(edge_scores, sparsity, candidate_edges)
+    keep = np.ones(graph.num_edges, dtype=bool)
+    if candidate_edges is None:
+        keep[:] = False
+    else:
+        keep[np.asarray(candidate_edges, dtype=np.int64)] = False
+    keep[chosen] = True
+    return graph.with_edges(keep)
+
+
+def unexplanatory_subgraph(graph: Graph, edge_scores: np.ndarray, sparsity: float,
+                           candidate_edges: np.ndarray | None = None) -> Graph:
+    """``G^(s̄)``: remove the explanatory edges, keep everything else."""
+    chosen = select_explanatory_edges(edge_scores, sparsity, candidate_edges)
+    keep = np.ones(graph.num_edges, dtype=bool)
+    keep[chosen] = False
+    return graph.with_edges(keep)

@@ -1,0 +1,81 @@
+"""Explanation methods: the framework, Revelio's baselines, and a registry."""
+
+from __future__ import annotations
+
+from ..errors import ExplainerError
+from ..nn.models import GNN
+from .base import MODES, Explainer, Explanation, NodeContext
+from .batch import BatchResult, explain_instances
+from .deeplift import DeepLIFT
+from .flowx import FlowX
+from .gnn_lrp import GNNLRP
+from .gnnexplainer import GNNExplainer
+from .gradcam import GradCAM
+from .graphmask import GraphMask
+from .io import load_explanation, save_explanation
+from .pgexplainer import PGExplainer
+from .pgm_explainer import PGMExplainer
+from .random_baseline import RandomExplainer
+from .relevant_walks import RelevantWalks
+from .subgraphx import SubgraphX
+
+__all__ = [
+    "Explainer",
+    "Explanation",
+    "NodeContext",
+    "MODES",
+    "GradCAM",
+    "DeepLIFT",
+    "GNNExplainer",
+    "PGExplainer",
+    "GraphMask",
+    "PGMExplainer",
+    "SubgraphX",
+    "GNNLRP",
+    "FlowX",
+    "RelevantWalks",
+    "RandomExplainer",
+    "EXPLAINERS",
+    "make_explainer",
+    "save_explanation",
+    "load_explanation",
+    "BatchResult",
+    "explain_instances",
+]
+
+# Registry of baseline constructors by paper name. Revelio itself lives in
+# repro.core but is registered here too for uniform harness access.
+EXPLAINERS: dict[str, type[Explainer]] = {
+    "gradcam": GradCAM,
+    "deeplift": DeepLIFT,
+    "gnnexplainer": GNNExplainer,
+    "pgexplainer": PGExplainer,
+    "graphmask": GraphMask,
+    "pgm_explainer": PGMExplainer,
+    "subgraphx": SubgraphX,
+    "gnn_lrp": GNNLRP,
+    "flowx": FlowX,
+    "relevant_walks": RelevantWalks,
+    "random": RandomExplainer,
+}
+
+
+def make_explainer(name: str, model: GNN, **kwargs) -> Explainer:
+    """Instantiate an explainer by registry name.
+
+    ``"revelio"`` and ``"revelio_topk"`` resolve to the core package;
+    everything else comes from :data:`EXPLAINERS`.
+    """
+    key = name.lower().replace("-", "_")
+    if key == "revelio":
+        from ..core import Revelio
+
+        return Revelio(model, **kwargs)
+    if key == "revelio_topk":
+        from ..core import TopKRevelio
+
+        return TopKRevelio(model, **kwargs)
+    if key not in EXPLAINERS:
+        available = sorted(EXPLAINERS) + ["revelio", "revelio_topk"]
+        raise ExplainerError(f"unknown explainer {name!r}; available: {available}")
+    return EXPLAINERS[key](model, **kwargs)

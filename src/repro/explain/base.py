@@ -1,0 +1,227 @@
+"""Explainer framework: the :class:`Explanation` result object and the
+:class:`Explainer` base class shared by Revelio and all baselines.
+
+Scope conventions
+-----------------
+*Node classification*: explainers operate on the target's L-hop incoming
+neighborhood (the only region that can influence the prediction of an
+L-layer GNN), exactly as PyG's explainer framework does, and scatter their
+scores back to full-graph edge positions. *Graph classification*: the whole
+(small) graph is the context.
+
+Modes
+-----
+``"factual"`` explanations score components whose *retention* preserves the
+prediction (evaluated by Fidelity−); ``"counterfactual"`` explanations
+score components whose *removal* flips it (Fidelity+). Methods that do not
+distinguish the two (gradient baselines, PGM-Explainer, SubgraphX, GNN-LRP)
+return the same scores for both, as in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ExplainerError
+from ..flows import FlowIndex
+from ..graph import Graph, induced_subgraph, k_hop_subgraph
+from ..nn.models import GNN
+
+__all__ = ["Explanation", "Explainer", "NodeContext", "MODES"]
+
+MODES = ("factual", "counterfactual")
+
+
+@dataclass
+class Explanation:
+    """The output of an explainer for one instance.
+
+    Attributes
+    ----------
+    edge_scores:
+        ``(E,)`` whole-graph importance per *data* edge (higher = more
+        important). Always populated — this is what fidelity / AUC consume.
+    layer_edge_scores:
+        Optional ``(L, E+N)`` per-layer scores over the *context* graph's
+        augmented edge space (flow-based and layer-aware methods).
+    flow_scores:
+        Optional ``(F,)`` per-flow importance (flow-based methods).
+    flow_index:
+        The :class:`FlowIndex` that ``flow_scores`` refers to (context
+        graph's node ids).
+    target:
+        Explained node id (node tasks) or ``None`` (graph tasks).
+    predicted_class:
+        The class the explanation was computed for.
+    mode:
+        ``"factual"`` or ``"counterfactual"``.
+    method:
+        Explainer name.
+    context_node_ids:
+        For node tasks, original node ids of the context subgraph.
+    context_edge_positions:
+        For node tasks, original edge indices of the context subgraph —
+        fidelity sweeps rank and perturb only these (edges outside the
+        L-hop neighborhood cannot influence the prediction).
+    meta:
+        Free-form extras (losses, timings, hyperparameters).
+    """
+
+    edge_scores: np.ndarray
+    predicted_class: int
+    method: str
+    mode: str = "factual"
+    target: int | None = None
+    layer_edge_scores: np.ndarray | None = None
+    flow_scores: np.ndarray | None = None
+    flow_index: FlowIndex | None = None
+    context_node_ids: np.ndarray | None = None
+    context_edge_positions: np.ndarray | None = None
+    meta: dict = field(default_factory=dict)
+
+    def top_edges(self, k: int) -> np.ndarray:
+        """Indices of the ``k`` highest-scoring data edges."""
+        k = min(k, self.edge_scores.shape[0])
+        return np.argsort(-self.edge_scores, kind="stable")[:k]
+
+    def edge_scores_at_layer(self, layer: int) -> np.ndarray:
+        """Per-*data-edge* importance within one 1-based GNN layer.
+
+        The paper's flow scores "can subsequently be translated into the
+        importance scores for edges within individual GNN layers or across
+        the entire GNN"; :attr:`edge_scores` is the across-GNN transfer,
+        this is the within-layer one. Only layer-aware methods (flow
+        methods, GraphMask) populate :attr:`layer_edge_scores`.
+        """
+        if self.layer_edge_scores is None:
+            raise ExplainerError(f"{self.method} produced no per-layer scores")
+        num_layers = self.layer_edge_scores.shape[0]
+        if not 1 <= layer <= num_layers:
+            raise ExplainerError(f"layer must be in [1, {num_layers}], got {layer}")
+        row = self.layer_edge_scores[layer - 1]
+        if self.flow_index is not None:
+            return row[:self.flow_index.num_edges].copy()
+        if self.context_edge_positions is not None:
+            # Layer scores live on the context graph whose data edges come
+            # first; self-loops occupy the tail.
+            return row[:self.context_edge_positions.shape[0]].copy()
+        if row.shape[0] >= self.edge_scores.shape[0]:
+            return row[:self.edge_scores.shape[0]].copy()
+        return row.copy()
+
+    def top_flows(self, k: int) -> list[tuple[tuple[int, ...], float]]:
+        """Top-``k`` flows as ``(node_sequence, score)`` pairs.
+
+        Node ids are translated back to the original graph when the
+        explanation was computed on a subgraph context.
+        """
+        if self.flow_scores is None or self.flow_index is None:
+            raise ExplainerError(f"{self.method} did not produce flow scores")
+        k = min(k, self.flow_scores.shape[0])
+        order = np.argsort(-self.flow_scores, kind="stable")[:k]
+        out = []
+        for f in order:
+            seq = self.flow_index.nodes[f]
+            if self.context_node_ids is not None:
+                seq = self.context_node_ids[seq]
+            out.append((tuple(int(v) for v in seq), float(self.flow_scores[f])))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Explanation(method={self.method!r}, mode={self.mode!r}, "
+            f"target={self.target}, class={self.predicted_class}, "
+            f"edges={self.edge_scores.shape[0]})"
+        )
+
+
+@dataclass
+class NodeContext:
+    """The L-hop explanation context around a target node."""
+
+    subgraph: Graph
+    node_ids: np.ndarray          # original ids of subgraph nodes
+    edge_mask: np.ndarray         # boolean over original edges
+    edge_positions: np.ndarray    # original edge index per subgraph edge
+    local_target: int             # target's id inside the subgraph
+
+
+class Explainer:
+    """Base class for all explanation methods.
+
+    Parameters
+    ----------
+    model:
+        A *pretrained* :class:`GNN`; it is frozen (gradients disabled on
+        its weights) so mask learning never perturbs it.
+    seed:
+        Seed for any stochastic component of the method.
+    """
+
+    name = "explainer"
+    is_flow_based = False
+    supports_counterfactual = False
+
+    def __init__(self, model: GNN, seed: int = 0):
+        self.model = model
+        self.seed = seed
+        model.eval()
+        model.freeze()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def explain(self, graph: Graph, target: int | None = None,
+                mode: str = "factual") -> Explanation:
+        """Explain one instance.
+
+        Dispatches on the model task: node classification requires
+        ``target``; graph classification ignores it.
+        """
+        if mode not in MODES:
+            raise ExplainerError(f"unknown mode {mode!r}; expected one of {MODES}")
+        if self.model.task == "node":
+            if target is None:
+                raise ExplainerError("node-classification explanation requires a target node")
+            return self.explain_node(graph, int(target), mode=mode)
+        return self.explain_graph(graph, mode=mode)
+
+    def explain_node(self, graph: Graph, node: int, mode: str = "factual") -> Explanation:
+        raise NotImplementedError
+
+    def explain_graph(self, graph: Graph, mode: str = "factual") -> Explanation:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def node_context(self, graph: Graph, node: int) -> NodeContext:
+        """Extract the L-hop incoming neighborhood of ``node``."""
+        node_ids, edge_mask = k_hop_subgraph(graph, node, self.model.num_layers)
+        subgraph, node_ids, edge_mask = induced_subgraph(graph, node_ids)
+        remap = {int(orig): i for i, orig in enumerate(node_ids)}
+        return NodeContext(
+            subgraph=subgraph,
+            node_ids=node_ids,
+            edge_mask=edge_mask,
+            edge_positions=np.flatnonzero(edge_mask),
+            local_target=remap[int(node)],
+        )
+
+    def predicted_class(self, graph: Graph, target: int | None = None) -> int:
+        """The model's predicted class for the instance."""
+        proba = self.model.predict_proba(graph)
+        row = proba[target] if target is not None else proba[0]
+        return int(row.argmax())
+
+    def lift_edge_scores(self, context: NodeContext, local_scores: np.ndarray,
+                         num_edges: int) -> np.ndarray:
+        """Scatter subgraph edge scores back to full-graph edge positions."""
+        full = np.zeros(num_edges)
+        full[context.edge_positions] = local_scores
+        return full
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(model={self.model.conv_name}, task={self.model.task})"

@@ -1,0 +1,62 @@
+"""Shared machinery for flow-based explainers (Revelio, FlowX, GNN-LRP).
+
+Provides masked-forward probability evaluation without autograd overhead
+and the flow-score → edge-score transfer used to compare flow methods with
+edge-level baselines under the paper's fidelity protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad, softmax
+from ..flows import FlowIndex
+from ..graph import Graph
+from ..nn.models import GNN
+
+__all__ = ["masked_probability", "flow_scores_to_edge_scores", "sigmoid"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function on arrays."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    exp_x = np.exp(x[~pos])
+    out[~pos] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def masked_probability(model: GNN, graph: Graph, layer_masks: np.ndarray,
+                       class_idx: int, target: int | None) -> float:
+    """``P(class | graph, masks)`` with per-layer edge masks, no tape.
+
+    Parameters
+    ----------
+    layer_masks:
+        ``(L, E+N)`` float multipliers per layer edge.
+    """
+    with no_grad():
+        masks = [Tensor(layer_masks[l]) for l in range(layer_masks.shape[0])]
+        logits = model.forward_graph(graph, edge_masks=masks)
+        probs = softmax(logits, axis=-1).numpy()
+    row = probs[target] if target is not None else probs[0]
+    return float(row[class_idx])
+
+
+def flow_scores_to_edge_scores(flow_index: FlowIndex, flow_scores: np.ndarray) -> np.ndarray:
+    """Whole-GNN data-edge importance from per-flow scores.
+
+    Accumulates flow scores per layer edge (Eq. 3), squashes with a sigmoid
+    to keep layers comparable, and averages each data edge over the layers
+    where it carries flows — the same transfer Revelio's Explanation uses,
+    applied to externally-computed flow scores.
+    """
+    accumulated = flow_index.aggregate_scores_np(np.asarray(flow_scores, dtype=np.float64))
+    squashed = sigmoid(accumulated)
+    used = flow_index.used_layer_edges()
+    num_edges = flow_index.num_edges
+    scores = squashed[:, :num_edges]
+    mask = used[:, :num_edges]
+    counts = np.maximum(mask.sum(axis=0), 1)
+    return (scores * mask).sum(axis=0) / counts

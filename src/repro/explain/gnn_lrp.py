@@ -1,0 +1,131 @@
+"""GNN-LRP (Schnake et al., 2021): per-walk relevance via L-order terms.
+
+GNN-LRP scores each message flow (walk) by the L-th-order term of a Taylor
+expansion of the model output with respect to the GNN layers — concretely,
+the mixed partial derivative of the explained class score with respect to
+the multipliers of the flow's L layer edges, times the product of those
+multipliers (which is 1 at the unperturbed point):
+
+    R(flow) = ∂^L f / (∂a¹_{e₁} … ∂a^L_{e_L}) · a¹_{e₁} ⋯ a^L_{e_L}
+
+This reproduction computes the mixed partial exactly (up to O(h²)) with a
+central finite-difference stencil over the 2^L sign combinations of the L
+layer-edge multipliers, which keeps the method model-agnostic while
+preserving both the defining semantics and the ``O(|F|·T_Φ)`` cost profile
+that dominates Table V. (The original hand-derives equivalent layer-wise
+relevance rules per architecture — the reason it cannot run on GAT, a
+restriction we keep.)
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..errors import ExplainerError
+from ..flows import FlowIndex, enumerate_flows
+from ..graph import Graph
+from ..nn.models import GNN
+from .base import Explainer, Explanation
+
+__all__ = ["GNNLRP"]
+
+
+class GNNLRP(Explainer):
+    """Walk-level relevance decomposition.
+
+    Parameters
+    ----------
+    step:
+        Finite-difference step ``h`` for the mixed partial.
+    max_flows:
+        Enumeration ceiling; large instances raise rather than thrash.
+    """
+
+    name = "gnn_lrp"
+    is_flow_based = True
+
+    def __init__(self, model: GNN, step: float = 0.1, max_flows: int = 200_000, seed: int = 0):
+        if model.conv_name == "gat":
+            raise ExplainerError("GNN-LRP is not compatible with GAT models (paper §V-A)")
+        super().__init__(model, seed=seed)
+        self.step = step
+        self.max_flows = max_flows
+
+    def explain_node(self, graph: Graph, node: int, mode: str = "factual") -> Explanation:
+        class_idx = self.predicted_class(graph, target=node)
+        context = self.node_context(graph, node)
+        flow_index = enumerate_flows(context.subgraph, self.model.num_layers,
+                                     target=context.local_target, max_flows=self.max_flows)
+        explanation = self._explain(context.subgraph, flow_index, target=context.local_target,
+                                    mode=mode, class_idx=class_idx)
+        explanation.target = node
+        explanation.context_node_ids = context.node_ids
+        explanation.context_edge_positions = context.edge_positions
+        explanation.edge_scores = self.lift_edge_scores(
+            context, explanation.edge_scores, graph.num_edges
+        )
+        return explanation
+
+    def explain_graph(self, graph: Graph, mode: str = "factual") -> Explanation:
+        flow_index = enumerate_flows(graph, self.model.num_layers, max_flows=self.max_flows)
+        return self._explain(graph, flow_index, target=None, mode=mode)
+
+    # ------------------------------------------------------------------
+    def _class_score(self, graph: Graph, layer_masks: np.ndarray,
+                     class_idx: int, target: int | None) -> float:
+        """Raw class logit under per-layer edge masks."""
+        with no_grad():
+            masks = [Tensor(layer_masks[l]) for l in range(layer_masks.shape[0])]
+            logits = self.model.forward_graph(graph, edge_masks=masks).numpy()
+        row = logits[target] if target is not None else logits[0]
+        return float(row[class_idx])
+
+    def _explain(self, graph: Graph, flow_index: FlowIndex, target: int | None,
+                 mode: str, class_idx: int | None = None) -> Explanation:
+        if class_idx is None:
+            class_idx = self.predicted_class(graph, target=target)
+        num_layers = flow_index.num_layers
+        width = flow_index.num_layer_edges
+        h = self.step
+        denom = (2.0 * h) ** num_layers
+        sign_combos = list(itertools.product((-1.0, 1.0), repeat=num_layers))
+
+        # Cache stencil evaluations: flows sharing the same (layer, edge)
+        # multiset hit identical mask configurations.
+        cache: dict[tuple, float] = {}
+        scores = np.zeros(flow_index.num_flows)
+        base = np.ones((num_layers, width))
+        for f in range(flow_index.num_flows):
+            path = flow_index.layer_edges[f]
+            total = 0.0
+            for signs in sign_combos:
+                key = tuple(zip(range(num_layers), path.tolist(), signs))
+                if key not in cache:
+                    masks = base.copy()
+                    for l, (edge, s) in enumerate(zip(path, signs)):
+                        masks[l, edge] += s * h
+                    cache[key] = self._class_score(graph, masks, class_idx, target)
+                total += float(np.prod(signs)) * cache[key]
+            scores[f] = total / denom
+
+        # Edge transfer: signed relevance summed over all flows through the
+        # edge at any layer (decomposition semantics: relevances add up).
+        edge_scores = np.zeros(flow_index.num_edges)
+        for l in range(num_layers):
+            ids = flow_index.layer_edges[:, l]
+            data_edges = ids < flow_index.num_edges
+            np.add.at(edge_scores, ids[data_edges], scores[data_edges])
+
+        return Explanation(
+            edge_scores=edge_scores,
+            predicted_class=class_idx,
+            method=self.name,
+            mode=mode,
+            flow_scores=scores,
+            flow_index=flow_index,
+            meta={"step": h, "num_flows": flow_index.num_flows,
+                  "stencil_evals": len(cache)},
+        )

@@ -1,0 +1,81 @@
+"""Grad-CAM for GNNs (Pope et al., 2019; adapted from Selvaraju et al.).
+
+Channel weights are the gradient of the explained class score with respect
+to the final-layer node embeddings, globally averaged over nodes; the node
+heat is the ReLU of the weighted embedding sum, and an edge scores the mean
+heat of its endpoints. A white-box gradient method: one forward + one
+backward per instance (the fastest row of Table V).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import log_softmax
+from ..graph import Graph
+from ..nn.models import GNN
+from .base import Explainer, Explanation
+
+__all__ = ["GradCAM"]
+
+
+class GradCAM(Explainer):
+    """Gradient-weighted class activation mapping on node embeddings."""
+
+    name = "gradcam"
+
+    def __init__(self, model: GNN, seed: int = 0):
+        super().__init__(model, seed=seed)
+
+    def explain_node(self, graph: Graph, node: int, mode: str = "factual") -> Explanation:
+        class_idx = self.predicted_class(graph, target=node)
+        context = self.node_context(graph, node)
+        scores, class_idx = self._node_heat(context.subgraph, target=context.local_target,
+                                            class_idx=class_idx)
+        edge_scores = self._edges_from_nodes(context.subgraph, scores)
+        return Explanation(
+            edge_scores=self.lift_edge_scores(context, edge_scores, graph.num_edges),
+            predicted_class=class_idx,
+            method=self.name,
+            mode=mode,
+            target=node,
+            context_node_ids=context.node_ids,
+            context_edge_positions=context.edge_positions,
+        )
+
+    def explain_graph(self, graph: Graph, mode: str = "factual") -> Explanation:
+        scores, class_idx = self._node_heat(graph, target=None)
+        return Explanation(
+            edge_scores=self._edges_from_nodes(graph, scores),
+            predicted_class=class_idx,
+            method=self.name,
+            mode=mode,
+        )
+
+    def _node_heat(self, graph: Graph, target: int | None,
+                   class_idx: int | None = None) -> tuple[np.ndarray, int]:
+        from ..autograd import Tensor
+
+        if class_idx is None:
+            class_idx = self.predicted_class(graph, target=target)
+        # The model is frozen, so the tape must be rooted at the input for
+        # intermediate gradients to exist.
+        x = Tensor(graph.x, requires_grad=True)
+        logits = self.model.forward(x, graph.edge_index, graph.num_nodes)
+        # Retain gradient on the final conv layer's embeddings.
+        embeddings = self.model._last_embeddings[-1]
+        embeddings.retain_grad()
+        log_probs = log_softmax(logits, axis=-1)
+        row = target if target is not None else 0
+        log_probs[row, class_idx].backward()
+        grads = embeddings.grad
+        if grads is None:
+            grads = np.zeros(embeddings.shape)
+        activations = embeddings.numpy()
+        channel_weights = grads.mean(axis=0)                     # global average pool
+        heat = np.maximum(activations @ channel_weights, 0.0)    # ReLU(Σ_c α_c h_c)
+        return heat, class_idx
+
+    @staticmethod
+    def _edges_from_nodes(graph: Graph, node_scores: np.ndarray) -> np.ndarray:
+        return 0.5 * (node_scores[graph.src] + node_scores[graph.dst])

@@ -1,0 +1,92 @@
+"""Explanation serialization.
+
+Explaining large instance sets is expensive; these helpers persist
+:class:`~repro.explain.base.Explanation` objects to ``.npz`` so fidelity
+sweeps, AUC evaluation and visualization can rerun without re-explaining.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ExplainerError
+from ..flows import FlowIndex
+from .base import Explanation
+
+__all__ = ["save_explanation", "load_explanation"]
+
+
+def save_explanation(explanation: Explanation, path: str | Path) -> None:
+    """Serialize an explanation (including its flow index) to ``.npz``."""
+    payload: dict[str, np.ndarray] = {
+        "edge_scores": explanation.edge_scores,
+    }
+    scalars = {
+        "predicted_class": explanation.predicted_class,
+        "method": explanation.method,
+        "mode": explanation.mode,
+        "target": explanation.target,
+        "meta": {k: v for k, v in explanation.meta.items()
+                 if isinstance(v, (int, float, str, bool))},
+    }
+    if explanation.layer_edge_scores is not None:
+        payload["layer_edge_scores"] = explanation.layer_edge_scores
+    if explanation.flow_scores is not None:
+        payload["flow_scores"] = explanation.flow_scores
+    if explanation.flow_index is not None:
+        fi = explanation.flow_index
+        payload["flow_nodes"] = fi.nodes
+        payload["flow_layer_edges"] = fi.layer_edges
+        scalars["flow_index"] = {
+            "num_layers": fi.num_layers,
+            "num_edges": fi.num_edges,
+            "num_nodes": fi.num_nodes,
+            "target": fi.target,
+        }
+    if explanation.context_node_ids is not None:
+        payload["context_node_ids"] = explanation.context_node_ids
+    if explanation.context_edge_positions is not None:
+        payload["context_edge_positions"] = explanation.context_edge_positions
+    payload["scalars_json"] = np.frombuffer(
+        json.dumps(scalars).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_explanation(path: str | Path) -> Explanation:
+    """Load an explanation saved by :func:`save_explanation`."""
+    path = Path(path)
+    if not path.exists():
+        raise ExplainerError(f"no such explanation file: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        scalars = json.loads(bytes(data["scalars_json"]).decode())
+        flow_index = None
+        if "flow_nodes" in data:
+            info = scalars["flow_index"]
+            flow_index = FlowIndex(
+                nodes=data["flow_nodes"],
+                layer_edges=data["flow_layer_edges"],
+                num_layers=info["num_layers"],
+                num_edges=info["num_edges"],
+                num_nodes=info["num_nodes"],
+                target=info["target"],
+            )
+        return Explanation(
+            edge_scores=data["edge_scores"].copy(),
+            predicted_class=scalars["predicted_class"],
+            method=scalars["method"],
+            mode=scalars["mode"],
+            target=scalars["target"],
+            layer_edge_scores=(data["layer_edge_scores"].copy()
+                               if "layer_edge_scores" in data else None),
+            flow_scores=data["flow_scores"].copy() if "flow_scores" in data else None,
+            flow_index=flow_index,
+            context_node_ids=(data["context_node_ids"].copy()
+                              if "context_node_ids" in data else None),
+            context_edge_positions=(data["context_edge_positions"].copy()
+                                    if "context_edge_positions" in data else None),
+            meta=scalars.get("meta", {}),
+        )

@@ -1,0 +1,48 @@
+"""Random-score baseline.
+
+Not part of the paper's comparison; used in tests as a sanity floor —
+every real method should beat it on fidelity/AUC — and useful to users as
+a null explainer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from ..nn.models import GNN
+from ..rng import ensure_rng
+from .base import Explainer, Explanation
+
+__all__ = ["RandomExplainer"]
+
+
+class RandomExplainer(Explainer):
+    """Assigns uniform random importance to every edge."""
+
+    name = "random"
+
+    def __init__(self, model: GNN, seed: int = 0):
+        super().__init__(model, seed=seed)
+        self._rng = ensure_rng(seed)
+
+    def explain_node(self, graph: Graph, node: int, mode: str = "factual") -> Explanation:
+        context = self.node_context(graph, node)
+        local = self._rng.random(context.subgraph.num_edges)
+        return Explanation(
+            edge_scores=self.lift_edge_scores(context, local, graph.num_edges),
+            predicted_class=self.predicted_class(graph, target=node),
+            method=self.name,
+            mode=mode,
+            target=node,
+            context_node_ids=context.node_ids,
+            context_edge_positions=context.edge_positions,
+        )
+
+    def explain_graph(self, graph: Graph, mode: str = "factual") -> Explanation:
+        return Explanation(
+            edge_scores=self._rng.random(graph.num_edges),
+            predicted_class=self.predicted_class(graph),
+            method=self.name,
+            mode=mode,
+        )

@@ -1,0 +1,25 @@
+"""Message-flow enumeration, incidence and pattern queries."""
+
+from .enumeration import FlowIndex, count_flows, enumerate_flows
+from .grouping import (
+    group_by_destination,
+    group_by_path_length,
+    group_by_patterns,
+    group_by_source,
+)
+from .incidence import FlowIncidence
+from .patterns import FlowPattern, match_flows, parse_pattern
+
+__all__ = [
+    "FlowIndex",
+    "enumerate_flows",
+    "count_flows",
+    "FlowIncidence",
+    "FlowPattern",
+    "match_flows",
+    "parse_pattern",
+    "group_by_source",
+    "group_by_destination",
+    "group_by_path_length",
+    "group_by_patterns",
+]

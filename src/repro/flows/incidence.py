@@ -1,0 +1,68 @@
+"""Sparse flow ↔ layer-edge incidence (the matrix ``I`` of Eq. 7).
+
+The paper's matrix implementation computes layer-edge importance as
+
+    omega[E] = sigma( I · omega[F] ⊙ exp(w) )
+
+with ``I ∈ {0,1}^{L × |E| × |F|}``. :class:`FlowIncidence` materializes one
+CSR matrix per layer so both autograd-free baselines (FlowX's Shapley
+attribution) and analysis code can do these products at scipy speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import FlowError
+from .enumeration import FlowIndex
+
+__all__ = ["FlowIncidence"]
+
+
+class FlowIncidence:
+    """Per-layer CSR incidence matrices of shape ``(E+N, F)``.
+
+    ``layer(l)[e, f] == 1`` iff flow ``f`` traverses layer edge ``e`` at
+    (1-based) layer ``l``.
+    """
+
+    def __init__(self, index: FlowIndex):
+        self.index = index
+        self._layers: list[sp.csr_matrix] = []
+        f_ids = np.arange(index.num_flows)
+        ones = np.ones(index.num_flows)
+        for l in range(index.num_layers):
+            mat = sp.csr_matrix(
+                (ones, (index.layer_edges[:, l], f_ids)),
+                shape=(index.num_layer_edges, index.num_flows),
+            )
+            self._layers.append(mat)
+
+    def layer(self, l: int) -> sp.csr_matrix:
+        """Incidence matrix for 1-based layer ``l``."""
+        if not 1 <= l <= self.index.num_layers:
+            raise FlowError(f"layer must be in [1, {self.index.num_layers}], got {l}")
+        return self._layers[l - 1]
+
+    def aggregate(self, flow_scores: np.ndarray) -> np.ndarray:
+        """``(L, E+N)`` sums of flow scores per layer edge (Eq. 3)."""
+        flow_scores = np.asarray(flow_scores, dtype=np.float64)
+        if flow_scores.shape != (self.index.num_flows,):
+            raise FlowError(
+                f"flow_scores must have shape ({self.index.num_flows},), got {flow_scores.shape}"
+            )
+        return np.stack([m @ flow_scores for m in self._layers])
+
+    def flows_removed_by_edges(self, layer_edge_ids: np.ndarray) -> np.ndarray:
+        """Boolean mask of flows that traverse *any* of the given layer edges
+        at *any* layer.
+
+        This is the set FlowX must account for when it deletes edges: every
+        flow whose path uses a removed edge is silenced.
+        """
+        hit = np.zeros(self.index.num_flows, dtype=bool)
+        ids = set(int(e) for e in np.asarray(layer_edge_ids).reshape(-1))
+        for l in range(self.index.num_layers):
+            hit |= np.isin(self.index.layer_edges[:, l], list(ids))
+        return hit

@@ -1,0 +1,91 @@
+"""Graph Attention Network layer (Veličković et al., 2018).
+
+Multi-head additive attention over the self-loop-augmented edge set. Layer
+edge masks multiply the attention-weighted messages (Eq. 6), which keeps
+the attention normalization itself intact — the mask controls how much of
+each (already normalized) message is delivered.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Parameter, Tensor, concat, segment_softmax
+from ..autograd.init import glorot_uniform, zeros
+from ..rng import ensure_rng
+from .message_passing import GraphConv, augment_edges
+
+__all__ = ["GATConv"]
+
+
+class GATConv(GraphConv):
+    """One GAT layer with ``heads`` attention heads.
+
+    Parameters
+    ----------
+    in_features:
+        Input channel width.
+    out_features:
+        Output width *per head*.
+    heads:
+        Number of attention heads (the paper uses 8).
+    concat_heads:
+        Concatenate head outputs (hidden layers) or average them (output
+        layer), as in the original architecture.
+    negative_slope:
+        LeakyReLU slope for attention logits.
+    rng:
+        Seed or generator for initialization.
+    """
+
+    def __init__(self, in_features: int, out_features: int, heads: int = 8,
+                 concat_heads: bool = True, negative_slope: float = 0.2,
+                 rng: int | np.random.Generator | None = None):
+        super().__init__()
+        rng = ensure_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.heads = heads
+        self.concat_heads = concat_heads
+        self.negative_slope = negative_slope
+        # One (in, out) projection per head, stored as a single matrix.
+        self.weight = Parameter(
+            glorot_uniform((in_features, heads * out_features), rng), name="weight"
+        )
+        self.att_src = Parameter(glorot_uniform((heads, out_features), rng), name="att_src")
+        self.att_dst = Parameter(glorot_uniform((heads, out_features), rng), name="att_dst")
+        bias_dim = heads * out_features if concat_heads else out_features
+        self.bias = Parameter(zeros((bias_dim,)), name="bias")
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int,
+                edge_mask: Tensor | None = None) -> Tensor:
+        src, dst = augment_edges(edge_index, num_nodes)
+        edge_mask = self._check_mask(edge_mask, edge_index.shape[1], num_nodes)
+        num_aug = src.shape[0]
+
+        h = (x @ self.weight).reshape(num_nodes, self.heads, self.out_features)
+        # Attention logits: a_src·h_i + a_dst·h_j per head.
+        alpha_src = (h * self.att_src).sum(axis=-1)  # (N, H)
+        alpha_dst = (h * self.att_dst).sum(axis=-1)  # (N, H)
+        logits = (alpha_src.gather_rows(src) + alpha_dst.gather_rows(dst)).leaky_relu(
+            self.negative_slope
+        )  # (num_aug, H)
+        attention = segment_softmax(logits, dst, num_nodes)  # (num_aug, H)
+
+        messages = h.gather_rows(src)  # (num_aug, H, F)
+        messages = messages * attention.reshape(num_aug, self.heads, 1)
+        if edge_mask is not None:
+            messages = messages * edge_mask.reshape(num_aug, 1, 1)
+        out = messages.scatter_add(dst, num_nodes)  # (N, H, F)
+
+        if self.concat_heads:
+            out = out.reshape(num_nodes, self.heads * self.out_features)
+        else:
+            out = out.mean(axis=1)
+        return out + self.bias
+
+    def __repr__(self) -> str:
+        return (
+            f"GATConv({self.in_features}, {self.out_features}, heads={self.heads}, "
+            f"concat={self.concat_heads})"
+        )

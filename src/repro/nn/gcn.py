@@ -1,0 +1,70 @@
+"""Graph Convolutional Network layer (Kipf & Welling, 2017).
+
+Implements the renormalized propagation rule ``H' = D̂^{-1/2} Â D̂^{-1/2} H W``
+with ``Â = A + I`` expressed edge-wise so that per-layer-edge masks can be
+multiplied into every message, including the self-loop contribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Parameter, Tensor
+from ..autograd.init import glorot_uniform, zeros
+from ..rng import ensure_rng
+from .message_passing import GraphConv, augment_edges
+
+__all__ = ["GCNConv"]
+
+
+class GCNConv(GraphConv):
+    """One GCN layer with symmetric renormalization and mask hooks.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input / output channel widths.
+    bias:
+        Whether to add a learned bias after aggregation.
+    normalize:
+        Apply the symmetric D̂^{-1/2} Â D̂^{-1/2} renormalization (default).
+        With ``False`` the layer sum-aggregates raw messages, the PyG
+        ``GCNConv(normalize=False)`` variant; graph-classification targets
+        use this so degree information survives pooling.
+    rng:
+        Seed or generator for Glorot initialization.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 normalize: bool = True,
+                 rng: int | np.random.Generator | None = None):
+        super().__init__()
+        rng = ensure_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.normalize = normalize
+        self.weight = Parameter(glorot_uniform((in_features, out_features), rng), name="weight")
+        self.bias = Parameter(zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int,
+                edge_mask: Tensor | None = None) -> Tensor:
+        src, dst = augment_edges(edge_index, num_nodes)
+        edge_mask = self._check_mask(edge_mask, edge_index.shape[1], num_nodes)
+
+        h = x @ self.weight
+        messages = h.gather_rows(src)
+        if self.normalize:
+            # Symmetric normalization over the self-loop-augmented structure.
+            deg = np.bincount(dst, minlength=num_nodes).astype(np.float64)
+            deg_inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1.0))
+            norm = deg_inv_sqrt[src] * deg_inv_sqrt[dst]
+            messages = messages * Tensor(norm[:, None])
+        if edge_mask is not None:
+            messages = messages * edge_mask
+        out = messages.scatter_add(dst, num_nodes)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"GCNConv({self.in_features}, {self.out_features})"

@@ -1,0 +1,66 @@
+"""Graph Isomorphism Network layer (Xu et al., 2019).
+
+``h'_j = MLP((1 + eps) · h_j + Σ_{i∈N(j)} h_i)``. The ``(1+eps)·h_j`` self
+term is treated as the self-loop layer edge so flow explanations (and layer
+edge masks) cover it, matching how FlowX / GNN-LRP treat GIN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import MLP, Parameter, Tensor
+from ..rng import ensure_rng
+from .message_passing import GraphConv, augment_edges
+
+__all__ = ["GINConv"]
+
+
+class GINConv(GraphConv):
+    """One GIN layer with a 2-layer MLP and learnable epsilon.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Channel widths; the internal MLP is ``in → out → out``.
+    train_eps:
+        Whether ``eps`` is learnable (default True, as in the reference
+        implementation).
+    rng:
+        Seed or generator for initialization.
+    """
+
+    def __init__(self, in_features: int, out_features: int, train_eps: bool = True,
+                 rng: int | np.random.Generator | None = None):
+        super().__init__()
+        rng = ensure_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.mlp = MLP([in_features, out_features, out_features], rng=rng)
+        if train_eps:
+            self.eps = Parameter(np.zeros(1), name="eps")
+        else:
+            self.eps = None
+            self._fixed_eps = 0.0
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int,
+                edge_mask: Tensor | None = None) -> Tensor:
+        src, dst = augment_edges(edge_index, num_nodes)
+        edge_mask = self._check_mask(edge_mask, edge_index.shape[1], num_nodes)
+
+        messages = x.gather_rows(src)
+        # Scale the self-loop block (last N messages) by (1 + eps).
+        num_edges = edge_index.shape[1]
+        if self.eps is not None:
+            scale = Tensor(np.ones((messages.shape[0], 1)))
+            self_block = np.zeros((messages.shape[0], 1))
+            self_block[num_edges:] = 1.0
+            scale = scale + Tensor(self_block) * self.eps
+            messages = messages * scale
+        if edge_mask is not None:
+            messages = messages * edge_mask
+        aggregated = messages.scatter_add(dst, num_nodes)
+        return self.mlp(aggregated)
+
+    def __repr__(self) -> str:
+        return f"GINConv({self.in_features}, {self.out_features})"

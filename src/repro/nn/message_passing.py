@@ -1,0 +1,76 @@
+"""Message-passing base layer with per-layer-edge mask support.
+
+The paper's Eq. (6) rewrites message calculation as
+
+    m_ij^l = MSG(h_i^{l-1}, h_j^{l-1}, e_ij^l) * omega[e_ij^l]
+
+i.e. every layer edge carries a scalar multiplier. All convolutions in this
+package therefore accept an optional ``edge_mask`` tensor applied to
+messages *before* aggregation.
+
+Layer-edge convention
+---------------------
+GNN layers pass a node's own representation forward as well (GCN's
+renormalized self-loop, GIN's ``(1+eps)·h_j`` term, GAT's self-attention).
+Flow-based explanation must treat these self-contributions as first-class
+layer edges — the paper's qualitative results (Tables VI/VII) contain flows
+such as ``31→31→31→28``. We therefore define the layer-edge id space as::
+
+    ids [0, E)      the graph's directed data edges, in edge_index order
+    ids [E, E+N)    one self-loop per node, id E+v for node v
+
+Every conv consumes masks of length ``E + N`` in this order, and
+:mod:`repro.flows` enumerates flows over the same augmented edge set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Module, Tensor
+from ..errors import ShapeError
+
+__all__ = ["GraphConv", "augment_edges", "num_layer_edges"]
+
+
+def augment_edges(edge_index: np.ndarray, num_nodes: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(src, dst)`` for data edges followed by one self-loop per node."""
+    loops = np.arange(num_nodes, dtype=np.int64)
+    src = np.concatenate([edge_index[0], loops])
+    dst = np.concatenate([edge_index[1], loops])
+    return src, dst
+
+
+def num_layer_edges(num_edges: int, num_nodes: int) -> int:
+    """Size of the layer-edge id space (data edges + self-loops)."""
+    return num_edges + num_nodes
+
+
+class GraphConv(Module):
+    """Base class for message-passing layers.
+
+    Subclasses implement :meth:`forward` with the shared signature::
+
+        forward(x, edge_index, num_nodes, edge_mask=None) -> Tensor
+
+    where ``edge_mask`` (if given) is a :class:`Tensor` of shape
+    ``(E + N,)`` or ``(E + N, 1)`` holding a multiplier per layer edge in
+    the convention documented above.
+    """
+
+    def _check_mask(self, edge_mask: Tensor | None, num_edges: int, num_nodes: int) -> Tensor | None:
+        if edge_mask is None:
+            return None
+        expected = num_layer_edges(num_edges, num_nodes)
+        if edge_mask.ndim == 1:
+            edge_mask = edge_mask.reshape(-1, 1)
+        if edge_mask.shape[0] != expected:
+            raise ShapeError(
+                f"edge mask has {edge_mask.shape[0]} entries, expected {expected} "
+                f"({num_edges} data edges + {num_nodes} self-loops)"
+            )
+        return edge_mask
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int,
+                edge_mask: Tensor | None = None) -> Tensor:
+        raise NotImplementedError

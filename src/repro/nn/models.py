@@ -1,0 +1,203 @@
+"""GNN models used as explanation targets.
+
+The paper evaluates 3-layer GCN, GIN and GAT models (GAT with 8 attention
+heads) on node- and graph-classification tasks. :class:`GNN` packages the
+convolution stack, an optional global pooling readout and a linear
+classification head, and exposes the per-layer edge-mask hooks the
+explainers drive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Linear, Module, Tensor, log_softmax, no_grad, softmax
+from ..errors import ModelError
+from ..graph import Graph, GraphBatch
+from ..rng import ensure_rng
+from .gat import GATConv
+from .gcn import GCNConv
+from .gin import GINConv
+from .message_passing import num_layer_edges
+from .pooling import global_max_pool, global_mean_pool, global_sum_pool
+
+__all__ = ["GNN", "build_model", "CONV_TYPES"]
+
+CONV_TYPES = ("gcn", "gin", "gat")
+
+
+class GNN(Module):
+    """A multi-layer message-passing classifier.
+
+    Parameters
+    ----------
+    conv:
+        ``"gcn"``, ``"gin"`` or ``"gat"``.
+    task:
+        ``"node"`` (per-node logits) or ``"graph"`` (pooled logits).
+    in_features, hidden, num_classes:
+        Input width, hidden width and class count.
+    num_layers:
+        Number of message-passing layers (paper: 3).
+    heads:
+        Attention heads for GAT (paper: 8); per-head width is
+        ``hidden // heads``.
+    pool:
+        Graph-task readout: ``"sum"`` (default; counts substructures, the
+        GIN-paper recommendation), ``"mean"`` or ``"max"``.
+    rng:
+        Seed or generator for all weight initialization.
+    """
+
+    def __init__(self, conv: str, task: str, in_features: int, hidden: int,
+                 num_classes: int, num_layers: int = 3, heads: int = 8,
+                 pool: str = "sum",
+                 rng: int | np.random.Generator | None = None):
+        super().__init__()
+        if conv not in CONV_TYPES:
+            raise ModelError(f"unknown conv type {conv!r}; expected one of {CONV_TYPES}")
+        if task not in ("node", "graph"):
+            raise ModelError(f"unknown task {task!r}; expected 'node' or 'graph'")
+        if num_layers < 1:
+            raise ModelError("num_layers must be >= 1")
+        if pool not in ("sum", "mean", "max"):
+            raise ModelError(f"unknown pool {pool!r}; expected sum/mean/max")
+        rng = ensure_rng(rng)
+
+        self.conv_name = conv
+        self.task = task
+        self.pool = pool
+        self.in_features = in_features
+        self.hidden = hidden
+        self.num_classes = num_classes
+        self.num_layers = num_layers
+        self.heads = heads
+
+        self.convs = []
+        dims = [in_features] + [hidden] * num_layers
+        for d_in, d_out in zip(dims[:-1], dims[1:]):
+            if conv == "gcn":
+                # Graph-level targets keep raw sum aggregation so degree
+                # information survives pooling (see GCNConv docstring).
+                self.convs.append(GCNConv(d_in, d_out, normalize=(task == "node"), rng=rng))
+            elif conv == "gin":
+                self.convs.append(GINConv(d_in, d_out, rng=rng))
+            else:
+                if hidden % heads != 0:
+                    raise ModelError(f"hidden={hidden} must be divisible by heads={heads}")
+                self.convs.append(
+                    GATConv(d_in, hidden // heads, heads=heads, concat_heads=True, rng=rng)
+                )
+        self.head = Linear(hidden, num_classes, rng=rng)
+
+    # ------------------------------------------------------------------
+    # forward passes
+    # ------------------------------------------------------------------
+    def forward(self, x, edge_index: np.ndarray, num_nodes: int,
+                edge_masks: list[Tensor] | None = None,
+                batch: np.ndarray | None = None,
+                num_graphs: int | None = None) -> Tensor:
+        """Compute logits.
+
+        Parameters
+        ----------
+        x:
+            ``(N, F)`` features (array or Tensor).
+        edge_index:
+            ``(2, E)`` directed edges (no self-loops; layers add their own).
+        num_nodes:
+            Node count ``N``.
+        edge_masks:
+            Optional per-layer masks, one Tensor of shape ``(E + N,)`` per
+            layer (see :mod:`repro.nn.message_passing` for the id space).
+        batch, num_graphs:
+            For graph tasks, node→graph assignment and graph count.
+        """
+        h = x if isinstance(x, Tensor) else Tensor(x)
+        if edge_masks is not None and len(edge_masks) != self.num_layers:
+            raise ModelError(
+                f"expected {self.num_layers} edge masks, got {len(edge_masks)}"
+            )
+        embeddings = []
+        for l, conv in enumerate(self.convs):
+            mask = edge_masks[l] if edge_masks is not None else None
+            h = conv(h, edge_index, num_nodes, edge_mask=mask)
+            h = h.relu()
+            embeddings.append(h)
+        self._last_embeddings = embeddings
+
+        if self.task == "graph":
+            if batch is None:
+                batch = np.zeros(num_nodes, dtype=np.int64)
+                num_graphs = 1
+            if num_graphs is None:
+                num_graphs = int(batch.max()) + 1
+            pool_fn = {"sum": global_sum_pool, "mean": global_mean_pool,
+                       "max": global_max_pool}[self.pool]
+            h = pool_fn(h, batch, num_graphs)
+        return self.head(h)
+
+    def forward_graph(self, graph: Graph, edge_masks: list[Tensor] | None = None) -> Tensor:
+        """Logits for a single :class:`Graph` (node or graph task)."""
+        return self.forward(graph.x, graph.edge_index, graph.num_nodes, edge_masks=edge_masks)
+
+    def forward_batch(self, batch: GraphBatch, edge_masks: list[Tensor] | None = None) -> Tensor:
+        """Logits for a :class:`GraphBatch` (graph task)."""
+        if self.task != "graph":
+            raise ModelError("forward_batch is only valid for graph-classification models")
+        return self.forward(
+            batch.x, batch.edge_index, batch.num_nodes,
+            edge_masks=edge_masks, batch=batch.batch, num_graphs=batch.num_graphs,
+        )
+
+    # ------------------------------------------------------------------
+    # inference helpers
+    # ------------------------------------------------------------------
+    def predict_proba(self, graph: Graph) -> np.ndarray:
+        """Class probabilities without touching the tape.
+
+        Shape ``(N, C)`` for node tasks, ``(1, C)`` for graph tasks.
+        """
+        with no_grad():
+            logits = self.forward_graph(graph)
+            return softmax(logits, axis=-1).numpy()
+
+    def predict(self, graph: Graph) -> np.ndarray:
+        """Argmax class per node (node task) or per graph (graph task)."""
+        return self.predict_proba(graph).argmax(axis=-1)
+
+    def log_prob(self, graph: Graph, edge_masks: list[Tensor] | None = None) -> Tensor:
+        """Differentiable log-probabilities (used by mask-learning losses)."""
+        return log_softmax(self.forward_graph(graph, edge_masks=edge_masks), axis=-1)
+
+    def node_embeddings(self, graph: Graph) -> list[np.ndarray]:
+        """Per-layer node embeddings from a plain forward pass (no grad)."""
+        with no_grad():
+            self.forward_graph(graph)
+            return [e.numpy().copy() for e in self._last_embeddings]
+
+    def layer_edge_count(self, graph: Graph) -> int:
+        """Size of the per-layer mask vector for ``graph``."""
+        return num_layer_edges(graph.num_edges, graph.num_nodes)
+
+    def clone(self) -> "GNN":
+        """Deep-copied model with identical weights."""
+        twin = GNN(self.conv_name, self.task, self.in_features, self.hidden,
+                   self.num_classes, num_layers=self.num_layers, heads=self.heads,
+                   pool=self.pool)
+        twin.load_state_dict(self.state_dict())
+        return twin
+
+    def __repr__(self) -> str:
+        return (
+            f"GNN(conv={self.conv_name!r}, task={self.task!r}, layers={self.num_layers}, "
+            f"in={self.in_features}, hidden={self.hidden}, classes={self.num_classes})"
+        )
+
+
+def build_model(conv: str, task: str, in_features: int, num_classes: int,
+                hidden: int = 32, num_layers: int = 3,
+                rng: int | np.random.Generator | None = None) -> GNN:
+    """Factory with the paper's defaults (3 layers; GAT gets 8 heads)."""
+    return GNN(conv, task, in_features, hidden, num_classes,
+               num_layers=num_layers, heads=8 if conv == "gat" else 1, rng=rng)

@@ -1,0 +1,44 @@
+"""Global pooling layers for graph-level readout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+
+__all__ = ["global_mean_pool", "global_sum_pool", "global_max_pool"]
+
+
+def global_sum_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Sum node embeddings per graph: ``(N, F) -> (G, F)``."""
+    return x.scatter_add(batch, num_graphs)
+
+
+def global_mean_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Average node embeddings per graph: ``(N, F) -> (G, F)``."""
+    sums = x.scatter_add(batch, num_graphs)
+    counts = np.bincount(batch, minlength=num_graphs).astype(np.float64)
+    counts = np.maximum(counts, 1.0)
+    return sums / Tensor(counts[:, None])
+
+
+def global_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Elementwise max of node embeddings per graph: ``(N, F) -> (G, F)``.
+
+    Implemented by shifting each graph's rows so the max reduction can run
+    per segment via a one-hot selection; gradient flows to the argmax rows.
+    """
+    # Compute per-segment max at the data level, then rebuild a
+    # differentiable selection using where().
+    from ..autograd.tensor import where
+
+    data_max = np.full((num_graphs,) + x.shape[1:], -np.inf)
+    np.maximum.at(data_max, batch, x.data)
+    is_max = x.data == data_max[batch]
+    # Zero out non-max entries (ties share gradient via scatter_add below,
+    # then are divided by the tie count).
+    ties = np.zeros((num_graphs,) + x.shape[1:])
+    np.add.at(ties, batch, is_max.astype(np.float64))
+    selected = where(is_max, x, Tensor(np.zeros(x.shape)))
+    pooled = selected.scatter_add(batch, num_graphs)
+    return pooled / Tensor(np.maximum(ties, 1.0))

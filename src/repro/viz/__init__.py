@@ -1,0 +1,17 @@
+"""Visualization: flow tables, ASCII subgraph rendering, DOT export."""
+
+from .ascii import explanation_summary, render_explanation
+from .curves import render_curves, render_fidelity_result
+from .dot import explanation_to_dot, to_dot
+from .flows_table import format_flow_comparison, format_top_flows
+
+__all__ = [
+    "format_top_flows",
+    "format_flow_comparison",
+    "render_explanation",
+    "explanation_summary",
+    "to_dot",
+    "explanation_to_dot",
+    "render_curves",
+    "render_fidelity_result",
+]

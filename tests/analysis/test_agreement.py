@@ -1,0 +1,95 @@
+"""Method-agreement metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    agreement_matrix,
+    edge_rank_correlation,
+    top_edge_overlap,
+    top_flow_overlap,
+)
+from repro.errors import EvaluationError
+from repro.explain.base import Explanation
+from repro.flows import enumerate_flows
+
+
+def make(scores, ctx=None, method="m", flow_scores=None, flow_index=None):
+    return Explanation(edge_scores=np.asarray(scores, dtype=float),
+                       predicted_class=0, method=method,
+                       context_edge_positions=ctx,
+                       flow_scores=flow_scores, flow_index=flow_index)
+
+
+class TestRankCorrelation:
+    def test_identical_is_one(self):
+        a = make([0.1, 0.5, 0.9, 0.3])
+        assert edge_rank_correlation(a, a) == pytest.approx(1.0)
+
+    def test_reversed_is_minus_one(self):
+        a = make([1, 2, 3, 4])
+        b = make([4, 3, 2, 1])
+        assert edge_rank_correlation(a, b) == pytest.approx(-1.0)
+
+    def test_kendall_variant(self):
+        a = make([1, 2, 3, 4])
+        b = make([1, 2, 4, 3])
+        assert 0 < edge_rank_correlation(a, b, method="kendall") < 1
+
+    def test_constant_scores_zero(self):
+        a = make([1, 1, 1, 1])
+        b = make([1, 2, 3, 4])
+        assert edge_rank_correlation(a, b) == 0.0
+
+    def test_context_intersection(self):
+        a = make([1, 2, 3, 4, 0], ctx=np.array([0, 1, 2, 3]))
+        b = make([4, 3, 2, 1, 0], ctx=np.array([1, 2, 3, 4]))
+        corr = edge_rank_correlation(a, b)  # compared over {1,2,3}
+        assert corr == pytest.approx(-1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EvaluationError):
+            edge_rank_correlation(make([1, 2]), make([1, 2, 3]))
+
+    def test_unknown_method(self):
+        with pytest.raises(EvaluationError):
+            edge_rank_correlation(make([1, 2, 3]), make([3, 2, 1]), method="pearson")
+
+
+class TestOverlap:
+    def test_full_overlap(self):
+        a = make([0.9, 0.8, 0.1, 0.0])
+        assert top_edge_overlap(a, a, k=2) == 1.0
+
+    def test_disjoint(self):
+        a = make([1.0, 0.9, 0.0, 0.0])
+        b = make([0.0, 0.0, 1.0, 0.9])
+        assert top_edge_overlap(a, b, k=2) == 0.0
+
+    def test_partial(self):
+        a = make([1.0, 0.9, 0.0, 0.0])
+        b = make([1.0, 0.0, 0.9, 0.0])
+        assert top_edge_overlap(a, b, k=2) == pytest.approx(1 / 3)
+
+    def test_flow_overlap(self, triangle_graph):
+        fi = enumerate_flows(triangle_graph, 2, target=1)
+        scores = np.linspace(0, 1, fi.num_flows)
+        a = make(np.zeros(4), flow_scores=scores, flow_index=fi)
+        b = make(np.zeros(4), flow_scores=scores[::-1].copy(), flow_index=fi)
+        assert top_flow_overlap(a, a, k=3) == 1.0
+        assert 0.0 <= top_flow_overlap(a, b, k=3) <= 1.0
+
+
+class TestMatrix:
+    def test_symmetric_unit_diagonal(self):
+        exps = [make([1, 2, 3, 4], method="a"),
+                make([4, 3, 2, 1], method="b"),
+                make([1, 3, 2, 4], method="c")]
+        matrix, names = agreement_matrix(exps, k=2)
+        assert names == ["a", "b", "c"]
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_needs_two(self):
+        with pytest.raises(EvaluationError):
+            agreement_matrix([make([1, 2])])

@@ -1,0 +1,108 @@
+"""Optimizer mechanics and convergence."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import SGD, Adam, Linear, Tensor
+
+
+def quadratic_problem():
+    """min (x - 3)^2, solution x = 3."""
+    x = Tensor(np.array([0.0]), requires_grad=True)
+
+    def loss():
+        return ((x - 3.0) ** 2).sum()
+
+    return x, loss
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        x, loss = quadratic_problem()
+        opt = SGD([x], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        assert x.numpy()[0] == pytest.approx(3.0, abs=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            x, loss = quadratic_problem()
+            opt = SGD([x], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                loss().backward()
+                opt.step()
+            return abs(x.numpy()[0] - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        x = Tensor(np.array([10.0]), requires_grad=True)
+        opt = SGD([x], lr=0.1, weight_decay=1.0)
+        for _ in range(100):
+            opt.zero_grad()
+            (x * 0.0).sum().backward()  # zero data gradient
+            opt.step()
+        assert abs(x.numpy()[0]) < 1.0
+
+    def test_skips_params_without_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([x], lr=0.1)
+        opt.step()  # no backward happened
+        assert x.numpy()[0] == 1.0
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        x, loss = quadratic_problem()
+        opt = Adam([x], lr=0.3)
+        for _ in range(200):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        assert x.numpy()[0] == pytest.approx(3.0, abs=1e-2)
+
+    def test_fits_linear_regression(self):
+        rng = np.random.default_rng(0)
+        lin = Linear(4, 1, rng=0)
+        X = rng.normal(size=(128, 4))
+        w_true = np.array([[1.0], [-1.0], [0.5], [2.0]])
+        y = X @ w_true + 0.3
+        opt = Adam(lin.parameters(), lr=0.05)
+        for _ in range(400):
+            opt.zero_grad()
+            ((lin(Tensor(X)) - Tensor(y)) ** 2).mean().backward()
+            opt.step()
+        assert np.allclose(lin.weight.numpy(), w_true, atol=1e-2)
+        assert lin.bias.numpy()[0] == pytest.approx(0.3, abs=1e-2)
+
+    def test_bias_correction_first_step(self):
+        # With bias correction, the first Adam step ≈ lr * sign(grad).
+        x = Tensor(np.array([0.0]), requires_grad=True)
+        opt = Adam([x], lr=0.1)
+        opt.zero_grad()
+        (x * 5.0).sum().backward()
+        opt.step()
+        assert x.numpy()[0] == pytest.approx(-0.1, abs=1e-6)
+
+    def test_weight_decay(self):
+        x = Tensor(np.array([10.0]), requires_grad=True)
+        opt = Adam([x], lr=0.5, weight_decay=1.0)
+        for _ in range(100):
+            opt.zero_grad()
+            (x * 0.0).sum().backward()
+            opt.step()
+        assert abs(x.numpy()[0]) < 1.0
+
+    def test_zero_grad_resets(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        opt = Adam([x], lr=0.1)
+        (x * 2).sum().backward()
+        opt.zero_grad()
+        assert x.grad is None

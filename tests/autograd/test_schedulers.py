@@ -1,0 +1,100 @@
+"""Learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    SGD,
+    Adam,
+    CosineAnnealingLR,
+    LinearWarmup,
+    StepLR,
+    Tensor,
+)
+
+
+def make_opt(lr=1.0):
+    return Adam([Tensor(np.zeros(2), requires_grad=True)], lr=lr)
+
+
+class TestStepLR:
+    def test_halves_at_boundaries(self):
+        sched = StepLR(make_opt(), step_size=10, gamma=0.5)
+        lrs = [sched.step() for _ in range(25)]
+        assert lrs[8] == 1.0
+        assert lrs[10] == 0.5  # epoch 11
+        assert lrs[20] == 0.25
+
+    def test_applies_to_optimizer(self):
+        opt = make_opt()
+        sched = StepLR(opt, step_size=1, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=0)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        sched = CosineAnnealingLR(make_opt(), total_epochs=100, min_lr=0.1)
+        first = sched.compute_lr(0)
+        last = sched.compute_lr(100)
+        assert first == pytest.approx(1.0)
+        assert last == pytest.approx(0.1)
+
+    def test_monotone_decreasing(self):
+        sched = CosineAnnealingLR(make_opt(), total_epochs=50)
+        lrs = [sched.step() for _ in range(50)]
+        assert all(a >= b - 1e-12 for a, b in zip(lrs[:-1], lrs[1:]))
+
+    def test_clamps_past_horizon(self):
+        sched = CosineAnnealingLR(make_opt(), total_epochs=10, min_lr=0.2)
+        for _ in range(20):
+            lr = sched.step()
+        assert lr == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(make_opt(), total_epochs=0)
+
+
+class TestWarmup:
+    def test_linear_ramp(self):
+        sched = LinearWarmup(make_opt(), warmup_epochs=4)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_flat_after_warmup(self):
+        sched = LinearWarmup(make_opt(), warmup_epochs=2)
+        for _ in range(5):
+            lr = sched.step()
+        assert lr == pytest.approx(1.0)
+
+    def test_chained_scheduler(self):
+        opt = make_opt()
+        sched = LinearWarmup(opt, warmup_epochs=2,
+                             after=StepLR(opt, step_size=1, gamma=0.5))
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs[0] == pytest.approx(0.5)
+        assert lrs[1] == pytest.approx(1.0)
+        assert lrs[2] == pytest.approx(0.5)   # StepLR epoch 1
+        assert lrs[3] == pytest.approx(0.25)  # StepLR epoch 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearWarmup(make_opt(), warmup_epochs=0)
+
+
+class TestIntegration:
+    def test_scheduled_training_converges(self):
+        x = Tensor(np.array([0.0]), requires_grad=True)
+        opt = SGD([x], lr=0.5)
+        sched = CosineAnnealingLR(opt, total_epochs=100, min_lr=0.01)
+        for _ in range(100):
+            opt.zero_grad()
+            ((x - 3.0) ** 2).sum().backward()
+            opt.step()
+            sched.step()
+        assert x.numpy()[0] == pytest.approx(3.0, abs=1e-2)

@@ -1,0 +1,105 @@
+"""Shared fixtures: tiny graphs and session-scoped mini target models.
+
+The heavy fixtures (trained models) are session-scoped and deliberately
+small so the whole suite runs in well under a minute; explainer tests care
+about mechanics and invariants, not benchmark-grade accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import ba_2motifs, ba_shapes, load_dataset, mutag
+from repro.graph import Graph
+from repro.nn import Trainer, build_model
+
+
+@pytest.fixture(autouse=True)
+def _isolated_model_cache(tmp_path_factory, monkeypatch):
+    """Point the model zoo cache at a per-session temp dir."""
+    cache = tmp_path_factory.getbasetemp() / "zoo-cache"
+    monkeypatch.setenv("REPRO_CACHE", str(cache))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def triangle_graph():
+    """3 nodes, bidirectional edges 0<->1 and 1<->2."""
+    edge_index = np.array([[0, 1, 1, 2], [1, 0, 2, 1]])
+    return Graph(edge_index=edge_index, x=np.eye(3))
+
+
+@pytest.fixture
+def path_graph():
+    """Directed path 0 -> 1 -> 2 -> 3."""
+    edge_index = np.array([[0, 1, 2], [1, 2, 3]])
+    return Graph(edge_index=edge_index, x=np.eye(4))
+
+
+@pytest.fixture
+def labelled_graph(rng):
+    """Small two-block homophilous graph with split masks."""
+    from repro.graph import sbm_edges
+
+    edges = sbm_edges([12, 12], 0.4, 0.03, rng=rng)
+    y = np.array([0] * 12 + [1] * 12)
+    x = rng.normal(size=(24, 6)) + y[:, None]
+    u = rng.random(24)
+    return Graph(edge_index=edges, x=x, y=y,
+                 train_mask=u < 0.6, val_mask=(u >= 0.6) & (u < 0.8), test_mask=u >= 0.8)
+
+
+# ----------------------------------------------------------------------
+# session-scoped trained targets
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def mini_ba_shapes():
+    return ba_shapes(scale=0.12, seed=0)
+
+
+@pytest.fixture(scope="session")
+def node_model(mini_ba_shapes):
+    """A small GCN trained on mini BA-Shapes (node classification)."""
+    ds = mini_ba_shapes
+    model = build_model("gcn", "node", ds.num_features, ds.num_classes, hidden=16, rng=0)
+    Trainer(model, lr=0.02, weight_decay=0.0, epochs=250, patience=None).fit_node(ds.graph)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="session")
+def mini_mutag():
+    return mutag(scale=0.15, seed=0)
+
+
+@pytest.fixture(scope="session")
+def graph_model(mini_mutag):
+    """A small GIN trained on mini MUTAG (graph classification)."""
+    ds = mini_mutag
+    model = build_model("gin", "graph", ds.num_features, ds.num_classes, hidden=16, rng=0)
+    Trainer(model, lr=0.02, weight_decay=0.0, epochs=80, patience=None).fit_graphs(
+        ds.graphs, batch_size=64, rng=0
+    )
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="session")
+def mini_2motifs():
+    return ba_2motifs(scale=0.02, seed=0)
+
+
+@pytest.fixture
+def good_motif_node(mini_ba_shapes, node_model):
+    """A motif node the model classifies correctly (explanations are clean)."""
+    ds = mini_ba_shapes
+    pred = node_model.predict(ds.graph)
+    for v in ds.motif_nodes:
+        if pred[v] == ds.graph.y[v]:
+            return int(v)
+    return int(ds.motif_nodes[0])

@@ -1,0 +1,87 @@
+"""ROC AUC implementation and explanation-AUC protocol."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import explanation_auc, mean_explanation_auc, roc_auc
+from repro.explain.base import Explanation
+from repro.graph import Graph
+
+
+class TestROCAUC:
+    def test_perfect_separation(self):
+        assert roc_auc(np.array([0, 0, 1, 1]), np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_perfect_inversion(self):
+        assert roc_auc(np.array([1, 1, 0, 0]), np.array([0.1, 0.2, 0.8, 0.9])) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.random(2000) < 0.5
+        scores = rng.random(2000)
+        assert roc_auc(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_averaged(self):
+        # all scores equal → AUC exactly 0.5
+        assert roc_auc(np.array([0, 1, 0, 1]), np.zeros(4)) == 0.5
+
+    def test_matches_mann_whitney(self):
+        rng = np.random.default_rng(1)
+        labels = rng.random(50) < 0.4
+        scores = rng.normal(size=50) + labels
+        from scipy.stats import mannwhitneyu
+
+        u = mannwhitneyu(scores[labels], scores[~labels]).statistic
+        expected = u / (labels.sum() * (~labels).sum())
+        assert roc_auc(labels, scores) == pytest.approx(expected)
+
+    def test_degenerate_labels_raise(self):
+        with pytest.raises(EvaluationError):
+            roc_auc(np.ones(4, dtype=bool), np.zeros(4))
+        with pytest.raises(EvaluationError):
+            roc_auc(np.zeros(4, dtype=bool), np.zeros(4))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EvaluationError):
+            roc_auc(np.array([0, 1]), np.zeros(3))
+
+
+class TestExplanationAUC:
+    @pytest.fixture
+    def motif_graph(self):
+        return Graph(edge_index=np.array([[0, 1, 2, 3], [1, 2, 3, 0]]),
+                     x=np.ones((4, 2)), motif_edges={(0, 1), (1, 2)})
+
+    def test_perfect_explanation(self, motif_graph):
+        e = Explanation(edge_scores=np.array([1.0, 0.9, 0.1, 0.0]),
+                        predicted_class=0, method="t")
+        assert explanation_auc(motif_graph, e) == 1.0
+
+    def test_context_restriction(self, motif_graph):
+        e = Explanation(edge_scores=np.array([1.0, 0.0, 0.5, 0.5]),
+                        predicted_class=0, method="t",
+                        context_edge_positions=np.array([0, 2]))
+        # within context: edge 0 (motif, score 1) vs edge 2 (non, 0.5) → AUC 1
+        assert explanation_auc(motif_graph, e) == 1.0
+
+    def test_no_ground_truth(self):
+        g = Graph(edge_index=np.array([[0], [1]]), x=np.ones((2, 1)))
+        e = Explanation(edge_scores=np.zeros(1), predicted_class=0, method="t")
+        with pytest.raises(EvaluationError):
+            explanation_auc(g, e)
+
+    def test_mean_skips_degenerate(self, motif_graph):
+        good = Explanation(edge_scores=np.array([1.0, 0.9, 0.1, 0.0]),
+                           predicted_class=0, method="t")
+        # degenerate: context covers only motif edges → undefined AUC
+        degenerate = Explanation(edge_scores=np.ones(4), predicted_class=0, method="t",
+                                 context_edge_positions=np.array([0, 1]))
+        mean = mean_explanation_auc([motif_graph, motif_graph], [good, degenerate])
+        assert mean == 1.0
+
+    def test_mean_all_degenerate_raises(self, motif_graph):
+        degenerate = Explanation(edge_scores=np.ones(4), predicted_class=0, method="t",
+                                 context_edge_positions=np.array([0, 1]))
+        with pytest.raises(EvaluationError):
+            mean_explanation_auc([motif_graph], [degenerate])

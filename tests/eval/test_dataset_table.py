@@ -1,0 +1,67 @@
+"""Table III runner and the CLI report command."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.eval import ExperimentConfig, run_dataset_table
+
+
+@pytest.fixture(autouse=True)
+def fast_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_SCALE", "0.12")
+
+
+class TestDatasetTable:
+    def test_rows_cover_requested_datasets(self):
+        result = run_dataset_table(dataset_names=("tree_cycles",),
+                                   convs=("gcn",),
+                                   config=ExperimentConfig(scale=0.12))
+        assert len(result["rows"]) == 2  # header + one dataset
+        assert "tree_cycles" in result["rows"][1]
+        assert "tree_cycles" in result["records"]
+
+    def test_accuracy_recorded(self):
+        result = run_dataset_table(dataset_names=("tree_cycles",),
+                                   convs=("gcn",),
+                                   config=ExperimentConfig(scale=0.12))
+        acc = result["records"]["tree_cycles"]["accuracy"]["gcn"]
+        assert 0.0 <= acc <= 1.0
+
+    def test_gat_na_on_synthetics(self):
+        result = run_dataset_table(dataset_names=("tree_cycles",),
+                                   convs=("gat",),
+                                   config=ExperimentConfig(scale=0.12))
+        assert result["records"]["tree_cycles"]["accuracy"]["gat"] is None
+        assert "N/A" in result["rows"][1]
+
+    def test_cache_hit_reads_json_accuracy(self):
+        config = ExperimentConfig(scale=0.12)
+        first = run_dataset_table(dataset_names=("tree_cycles",), convs=("gcn",),
+                                  config=config)
+        second = run_dataset_table(dataset_names=("tree_cycles",), convs=("gcn",),
+                                   config=config)
+        a = first["records"]["tree_cycles"]["accuracy"]["gcn"]
+        b = second["records"]["tree_cycles"]["accuracy"]["gcn"]
+        assert a == pytest.approx(b)
+
+
+class TestCLIReport:
+    def test_report_to_stdout(self, capsys, tmp_path):
+        (tmp_path / "table3_x.txt").write_text("rows\n")
+        assert main(["report", "--results", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        (tmp_path / "fig3_x.txt").write_text("rows\n")
+        out_file = tmp_path / "report.md"
+        assert main(["report", "--results", str(tmp_path),
+                     "-o", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "Fig. 3" in out_file.read_text()
+
+    def test_report_empty_dir(self, capsys, tmp_path):
+        assert main(["report", "--results", str(tmp_path / "none")]) == 0
+        assert "no artifacts" in capsys.readouterr().out

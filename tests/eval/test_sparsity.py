@@ -1,0 +1,81 @@
+"""Sparsity-controlled subgraph construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import explanatory_subgraph, select_explanatory_edges, unexplanatory_subgraph
+from repro.graph import Graph
+
+
+@pytest.fixture
+def graph():
+    return Graph(edge_index=np.array([[0, 1, 2, 3, 0], [1, 2, 3, 0, 2]]),
+                 x=np.ones((4, 2)))
+
+
+@pytest.fixture
+def scores():
+    return np.array([0.9, 0.1, 0.5, 0.7, 0.3])
+
+
+class TestSelection:
+    def test_keeps_top_fraction(self, scores):
+        chosen = select_explanatory_edges(scores, 0.6)
+        assert chosen.tolist() == [0, 3]  # top 40% of 5 = 2 edges
+
+    def test_zero_sparsity_keeps_all(self, scores):
+        assert select_explanatory_edges(scores, 0.0).size == 5
+
+    def test_high_sparsity_keeps_at_least_one(self, scores):
+        assert select_explanatory_edges(scores, 0.99).size == 1
+
+    def test_invalid_sparsity(self, scores):
+        with pytest.raises(EvaluationError):
+            select_explanatory_edges(scores, 1.0)
+        with pytest.raises(EvaluationError):
+            select_explanatory_edges(scores, -0.1)
+
+    def test_candidate_restriction(self, scores):
+        chosen = select_explanatory_edges(scores, 0.5, candidate_edges=np.array([1, 2, 4]))
+        assert set(chosen.tolist()) <= {1, 2, 4}
+        assert chosen.size == 2  # ceil-rounded half of 3
+
+    def test_empty_candidates(self, scores):
+        assert select_explanatory_edges(scores, 0.5,
+                                        candidate_edges=np.array([], dtype=int)).size == 0
+
+    def test_stable_tie_breaking(self):
+        scores = np.zeros(4)
+        chosen = select_explanatory_edges(scores, 0.5)
+        assert chosen.tolist() == [0, 1]  # stable order on ties
+
+
+class TestSubgraphs:
+    def test_explanatory_keeps_chosen(self, graph, scores):
+        sub = explanatory_subgraph(graph, scores, 0.6)
+        kept = set(zip(sub.src.tolist(), sub.dst.tolist()))
+        assert kept == {(0, 1), (3, 0)}  # edges 0 and 3
+
+    def test_unexplanatory_removes_chosen(self, graph, scores):
+        sub = unexplanatory_subgraph(graph, scores, 0.6)
+        assert sub.num_edges == 3
+        removed = {(0, 1), (3, 0)}
+        remaining = set(zip(sub.src.tolist(), sub.dst.tolist()))
+        assert not (removed & remaining)
+
+    def test_complementarity(self, graph, scores):
+        s = 0.6
+        keep = explanatory_subgraph(graph, scores, s).num_edges
+        drop = unexplanatory_subgraph(graph, scores, s).num_edges
+        assert keep + drop == graph.num_edges
+
+    def test_candidates_outside_always_kept(self, graph, scores):
+        # only edges {0,1} are candidates; edges 2,3,4 must survive both ways
+        sub = explanatory_subgraph(graph, scores, 0.5, candidate_edges=np.array([0, 1]))
+        pairs = set(zip(sub.src.tolist(), sub.dst.tolist()))
+        assert {(2, 3), (3, 0), (0, 2)} <= pairs
+
+    def test_nodes_preserved(self, graph, scores):
+        sub = explanatory_subgraph(graph, scores, 0.8)
+        assert sub.num_nodes == graph.num_nodes

@@ -1,0 +1,79 @@
+"""Property-based invariants shared by every explainer.
+
+On random small graph-classification instances, each method must produce
+finite, correctly-shaped edge scores; flow-based methods' flow scores must
+align with their flow index; and context handling must be consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explain import make_explainer
+from repro.graph import Graph, coalesce_edges
+from repro.nn import build_model
+
+FAST_CFG = {
+    "gradcam": {},
+    "deeplift": {},
+    "gnnexplainer": {"epochs": 4},
+    "pgm_explainer": {"num_samples": 8},
+    "gnn_lrp": {},
+    "flowx": {"samples": 1, "finetune_epochs": 4},
+    "revelio": {"epochs": 4},
+    "random": {},
+}
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    model = build_model("gcn", "graph", 4, 2, hidden=8, num_layers=2, rng=0)
+    model.eval()
+    return model
+
+
+@st.composite
+def molecule_like(draw):
+    n = draw(st.integers(4, 9))
+    seed = draw(st.integers(0, 5000))
+    rng = np.random.default_rng(seed)
+    pairs = [(int(rng.integers(v)), v) for v in range(1, n)]
+    arr = np.array(pairs, dtype=np.int64).T
+    edge_index = coalesce_edges(np.concatenate([arr, arr[::-1]], axis=1))
+    x = rng.normal(size=(n, 4))
+    return Graph(edge_index=edge_index, x=x, y=int(rng.integers(2)))
+
+
+@settings(max_examples=8, deadline=None)
+@given(graph=molecule_like(), method=st.sampled_from(sorted(FAST_CFG)))
+def test_explanations_always_wellformed(tiny_model, graph, method):
+    explainer = make_explainer(method, tiny_model, seed=0, **FAST_CFG[method])
+    e = explainer.explain(graph)
+    assert e.edge_scores.shape == (graph.num_edges,)
+    assert np.isfinite(e.edge_scores).all()
+    assert 0 <= e.predicted_class < 2
+    if e.flow_scores is not None:
+        assert e.flow_scores.shape == (e.flow_index.num_flows,)
+        assert np.isfinite(e.flow_scores).all()
+
+
+@settings(max_examples=8, deadline=None)
+@given(graph=molecule_like())
+def test_revelio_flow_scores_bounded(tiny_model, graph):
+    e = make_explainer("revelio", tiny_model, seed=0, epochs=4).explain(graph)
+    assert (np.abs(e.flow_scores) <= 1.0 + 1e-12).all()
+    assert (e.layer_edge_scores > 0).all()
+    assert (e.layer_edge_scores < 1).all()
+
+
+@settings(max_examples=8, deadline=None)
+@given(graph=molecule_like())
+def test_top_edges_are_a_permutation_prefix(tiny_model, graph):
+    e = make_explainer("random", tiny_model, seed=1).explain(graph)
+    for k in (1, 3, graph.num_edges):
+        top = e.top_edges(k)
+        assert len(set(top.tolist())) == min(k, graph.num_edges)
+        # scores actually descend
+        values = e.edge_scores[top]
+        assert (np.diff(values) <= 1e-12).all()

@@ -1,0 +1,156 @@
+"""Flow enumeration: counts, structure, incidence aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import FlowError
+from repro.flows import FlowIndex, count_flows, enumerate_flows
+from repro.graph import Graph
+
+
+@pytest.fixture
+def triangle():
+    return Graph(edge_index=np.array([[0, 1, 1, 2], [1, 0, 2, 1]]), x=np.ones((3, 2)))
+
+
+@pytest.fixture
+def chain():
+    return Graph(edge_index=np.array([[0, 1, 2], [1, 2, 3]]), x=np.ones((4, 2)))
+
+
+class TestEnumeration:
+    def test_count_matches_oracle_targeted(self, triangle):
+        for target in range(3):
+            fi = enumerate_flows(triangle, 2, target=target)
+            assert fi.num_flows == count_flows(triangle, 2, target=target)
+
+    def test_count_matches_oracle_all(self, triangle):
+        fi = enumerate_flows(triangle, 2)
+        assert fi.num_flows == count_flows(triangle, 2)
+
+    def test_one_layer_flows_are_incoming_edges(self, chain):
+        fi = enumerate_flows(chain, 1, target=2)
+        # incoming: data edge 1->2 and the self-loop 2->2
+        seqs = {tuple(s) for s in fi.nodes.tolist()}
+        assert seqs == {(1, 2), (2, 2)}
+
+    def test_all_flows_end_at_target(self, triangle):
+        fi = enumerate_flows(triangle, 3, target=1)
+        assert (fi.nodes[:, -1] == 1).all()
+
+    def test_flow_steps_are_edges(self, triangle):
+        fi = enumerate_flows(triangle, 3, target=0)
+        src_aug = np.concatenate([triangle.src, np.arange(3)])
+        dst_aug = np.concatenate([triangle.dst, np.arange(3)])
+        for f in range(fi.num_flows):
+            for l in range(3):
+                e = fi.layer_edges[f, l]
+                assert src_aug[e] == fi.nodes[f, l]
+                assert dst_aug[e] == fi.nodes[f, l + 1]
+
+    def test_self_loop_flow_exists(self, chain):
+        fi = enumerate_flows(chain, 3, target=3)
+        seqs = {tuple(s) for s in fi.nodes.tolist()}
+        assert (3, 3, 3, 3) in seqs
+        assert (0, 1, 2, 3) in seqs
+
+    def test_flows_unique(self, triangle):
+        fi = enumerate_flows(triangle, 3, target=2)
+        seqs = [tuple(s) for s in fi.nodes.tolist()]
+        assert len(seqs) == len(set(seqs))
+
+    def test_max_flows_guard(self, triangle):
+        with pytest.raises(FlowError):
+            enumerate_flows(triangle, 3, target=1, max_flows=2)
+
+    def test_bad_layers(self, triangle):
+        with pytest.raises(FlowError):
+            enumerate_flows(triangle, 0)
+
+    def test_bad_target(self, triangle):
+        with pytest.raises(FlowError):
+            enumerate_flows(triangle, 2, target=99)
+
+    def test_isolated_node_has_only_self_flows(self):
+        g = Graph(edge_index=np.array([[0], [1]]), x=np.ones((3, 1)))
+        fi = enumerate_flows(g, 2, target=2)
+        assert fi.num_flows == 1
+        assert tuple(fi.nodes[0]) == (2, 2, 2)
+
+    def test_graph_task_flow_count_is_sum_over_targets(self, triangle):
+        total = enumerate_flows(triangle, 2).num_flows
+        per_target = sum(
+            enumerate_flows(triangle, 2, target=t).num_flows for t in range(3)
+        )
+        assert total == per_target
+
+
+class TestFlowIndexOps:
+    def test_aggregate_matches_numpy(self, triangle):
+        fi = enumerate_flows(triangle, 2, target=1)
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=fi.num_flows)
+        auto = fi.aggregate_scores(Tensor(scores)).numpy()
+        manual = fi.aggregate_scores_np(scores)
+        assert np.allclose(auto, manual)
+
+    def test_aggregate_grad_counts_layers(self, triangle):
+        fi = enumerate_flows(triangle, 3, target=0)
+        t = Tensor(np.zeros(fi.num_flows), requires_grad=True)
+        fi.aggregate_scores(t).sum().backward()
+        assert np.allclose(t.grad, 3.0)  # each flow touches 3 layer edges
+
+    def test_aggregate_wrong_size(self, triangle):
+        fi = enumerate_flows(triangle, 2, target=1)
+        with pytest.raises(FlowError):
+            fi.aggregate_scores(Tensor(np.zeros(fi.num_flows + 1)))
+
+    def test_used_layer_edges_cover_flows(self, triangle):
+        fi = enumerate_flows(triangle, 2, target=1)
+        used = fi.used_layer_edges()
+        for f in range(fi.num_flows):
+            for l in range(2):
+                assert used[l, fi.layer_edges[f, l]]
+
+    def test_flows_per_layer_edge_sums_to_flows(self, triangle):
+        fi = enumerate_flows(triangle, 2, target=1)
+        counts = fi.flows_per_layer_edge()
+        assert counts.sum() == fi.num_flows * 2
+
+    def test_flows_through(self, chain):
+        fi = enumerate_flows(chain, 2, target=2)
+        # layer-2 edge 1->2 is data edge index 1
+        members = fi.flows_through(2, 1)
+        for f in members:
+            assert fi.layer_edges[f, 1] == 1
+
+    def test_flows_through_bad_layer(self, chain):
+        fi = enumerate_flows(chain, 2, target=2)
+        with pytest.raises(FlowError):
+            fi.flows_through(0, 0)
+
+    def test_is_self_loop(self, chain):
+        fi = enumerate_flows(chain, 2, target=2)
+        assert fi.is_self_loop(chain.num_edges)
+        assert not fi.is_self_loop(0)
+
+    def test_layer_edge_endpoints(self, chain):
+        fi = enumerate_flows(chain, 2, target=2)
+        assert fi.layer_edge_endpoints(0, chain.edge_index) == (0, 1)
+        assert fi.layer_edge_endpoints(chain.num_edges + 3, chain.edge_index) == (3, 3)
+
+    def test_describe_flow(self, chain):
+        fi = enumerate_flows(chain, 2, target=2)
+        text = fi.describe_flow(0)
+        assert "->" in text
+
+    def test_flat_incidence_index_range(self, triangle):
+        fi = enumerate_flows(triangle, 2, target=1)
+        flat = fi.flat_incidence_index()
+        assert flat.shape == (fi.num_flows * 2,)
+        assert flat.max() < 2 * fi.num_layer_edges
+
+    def test_repr(self, triangle):
+        fi = enumerate_flows(triangle, 2, target=1)
+        assert "target=1" in repr(fi)

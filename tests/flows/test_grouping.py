@@ -1,0 +1,104 @@
+"""Flow grouping / aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FlowError
+from repro.flows import (
+    enumerate_flows,
+    group_by_destination,
+    group_by_path_length,
+    group_by_patterns,
+    group_by_source,
+)
+from repro.graph import Graph
+
+
+@pytest.fixture
+def setup():
+    g = Graph(edge_index=np.array([[0, 1, 1, 2], [1, 0, 2, 1]]), x=np.ones((3, 2)))
+    fi = enumerate_flows(g, 2, target=1)
+    scores = np.arange(fi.num_flows, dtype=float)
+    return fi, scores
+
+
+class TestGroupBySource:
+    def test_partition_sums_to_total(self, setup):
+        fi, scores = setup
+        groups = group_by_source(fi, scores)
+        assert sum(groups.values()) == pytest.approx(scores.sum())
+
+    def test_keys_are_sources(self, setup):
+        fi, scores = setup
+        groups = group_by_source(fi, scores)
+        assert set(groups) == set(int(v) for v in fi.nodes[:, 0])
+
+    def test_mean_reduction(self, setup):
+        fi, scores = setup
+        groups = group_by_source(fi, scores, reduce="mean")
+        for src, value in groups.items():
+            members = scores[fi.nodes[:, 0] == src]
+            assert value == pytest.approx(members.mean())
+
+    def test_max_reduction(self, setup):
+        fi, scores = setup
+        groups = group_by_source(fi, scores, reduce="max")
+        assert max(groups.values()) == scores.max()
+
+    def test_shape_validation(self, setup):
+        fi, _ = setup
+        with pytest.raises(FlowError):
+            group_by_source(fi, np.zeros(fi.num_flows + 1))
+
+    def test_bad_reduction(self, setup):
+        fi, scores = setup
+        with pytest.raises(FlowError):
+            group_by_source(fi, scores, reduce="median")
+
+
+class TestGroupByDestination:
+    def test_single_destination_for_targeted_flows(self, setup):
+        fi, scores = setup
+        groups = group_by_destination(fi, scores)
+        assert set(groups) == {1}  # all flows end at target 1
+        assert groups[1] == pytest.approx(scores.sum())
+
+
+class TestGroupByPathLength:
+    def test_self_loop_flow_length_zero(self, setup):
+        fi, scores = setup
+        groups = group_by_path_length(fi, scores)
+        # the pure self-loop flow 1 -> 1 -> 1 has effective length 0
+        pure = [f for f in range(fi.num_flows)
+                if (fi.nodes[f] == fi.nodes[f][0]).all()]
+        assert len(pure) == 1
+        assert 0 in groups
+        assert groups[0] == pytest.approx(scores[pure[0]])
+
+    def test_lengths_bounded_by_layers(self, setup):
+        fi, scores = setup
+        groups = group_by_path_length(fi, scores)
+        assert max(groups) <= fi.num_layers
+
+
+class TestGroupByPatterns:
+    def test_named_buckets(self, setup):
+        fi, scores = setup
+        groups = group_by_patterns(fi, scores, {"from_zero": "0 * 1",
+                                                "from_two": "2 * 1"})
+        from_zero = scores[fi.nodes[:, 0] == 0].sum()
+        assert groups["from_zero"] == pytest.approx(from_zero)
+
+    def test_unmatched_bucket(self, setup):
+        fi, scores = setup
+        groups = group_by_patterns(fi, scores, {"from_zero": "0 * 1"})
+        assert "<unmatched>" in groups
+        total = groups["from_zero"] + groups["<unmatched>"]
+        assert total == pytest.approx(scores.sum())
+
+    def test_overlapping_buckets_allowed(self, setup):
+        fi, scores = setup
+        groups = group_by_patterns(fi, scores, {"all": "*", "to_one": "* 1"})
+        assert groups["all"] == pytest.approx(scores.sum())
+        assert groups["to_one"] == pytest.approx(scores.sum())
+        assert groups["<unmatched>"] == 0.0

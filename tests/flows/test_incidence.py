@@ -1,0 +1,65 @@
+"""Sparse incidence matrices (Eq. 7's matrix I)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FlowError
+from repro.flows import FlowIncidence, enumerate_flows
+from repro.graph import Graph
+
+
+@pytest.fixture
+def setup():
+    g = Graph(edge_index=np.array([[0, 1, 1, 2], [1, 0, 2, 1]]), x=np.ones((3, 2)))
+    fi = enumerate_flows(g, 2, target=1)
+    return g, fi, FlowIncidence(fi)
+
+
+class TestIncidence:
+    def test_layer_shapes(self, setup):
+        _, fi, inc = setup
+        for l in (1, 2):
+            assert inc.layer(l).shape == (fi.num_layer_edges, fi.num_flows)
+
+    def test_binary_entries(self, setup):
+        _, fi, inc = setup
+        assert set(np.unique(inc.layer(1).toarray())) <= {0.0, 1.0}
+
+    def test_each_flow_one_edge_per_layer(self, setup):
+        _, fi, inc = setup
+        for l in (1, 2):
+            col_sums = np.asarray(inc.layer(l).sum(axis=0)).ravel()
+            assert np.allclose(col_sums, 1.0)
+
+    def test_aggregate_matches_flow_index(self, setup):
+        _, fi, inc = setup
+        scores = np.random.default_rng(0).normal(size=fi.num_flows)
+        assert np.allclose(inc.aggregate(scores), fi.aggregate_scores_np(scores))
+
+    def test_aggregate_wrong_shape(self, setup):
+        _, fi, inc = setup
+        with pytest.raises(FlowError):
+            inc.aggregate(np.zeros(fi.num_flows + 2))
+
+    def test_bad_layer(self, setup):
+        _, _, inc = setup
+        with pytest.raises(FlowError):
+            inc.layer(3)
+
+    def test_flows_removed_by_edges(self, setup):
+        _, fi, inc = setup
+        # removing every layer edge removes every flow
+        all_edges = np.arange(fi.num_layer_edges)
+        assert inc.flows_removed_by_edges(all_edges).all()
+
+    def test_flows_removed_by_single_edge(self, setup):
+        _, fi, inc = setup
+        hit = inc.flows_removed_by_edges(np.array([0]))
+        expected = np.zeros(fi.num_flows, dtype=bool)
+        for l in range(fi.num_layers):
+            expected |= fi.layer_edges[:, l] == 0
+        assert np.array_equal(hit, expected)
+
+    def test_flows_removed_by_nothing(self, setup):
+        _, fi, inc = setup
+        assert not inc.flows_removed_by_edges(np.array([], dtype=int)).any()

@@ -1,0 +1,70 @@
+"""Property-based flow-enumeration invariants on random graphs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor
+from repro.flows import FlowIncidence, count_flows, enumerate_flows
+from repro.graph import Graph, coalesce_edges
+from repro.nn.message_passing import augment_edges
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(2, 7))
+    m = draw(st.integers(1, 12))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    keep = src != dst
+    if not keep.any():
+        edge_index = np.zeros((2, 0), dtype=np.int64)
+    else:
+        edge_index = coalesce_edges(np.stack([src[keep], dst[keep]]))
+    return Graph(edge_index=edge_index, x=np.ones((n, 2)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=small_graphs(), layers=st.integers(1, 3), seed=st.integers(0, 100))
+def test_enumeration_count_matches_matrix_power(g, layers, seed):
+    rng = np.random.default_rng(seed)
+    target = int(rng.integers(g.num_nodes))
+    fi = enumerate_flows(g, layers, target=target)
+    assert fi.num_flows == count_flows(g, layers, target=target)
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=small_graphs(), layers=st.integers(1, 3))
+def test_every_flow_is_a_valid_walk(g, layers):
+    fi = enumerate_flows(g, layers)
+    src_aug, dst_aug = augment_edges(g.edge_index, g.num_nodes)
+    for f in range(min(fi.num_flows, 200)):
+        for l in range(layers):
+            e = fi.layer_edges[f, l]
+            assert src_aug[e] == fi.nodes[f, l]
+            assert dst_aug[e] == fi.nodes[f, l + 1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=small_graphs(), layers=st.integers(1, 3), seed=st.integers(0, 100))
+def test_aggregation_three_ways_agree(g, layers, seed):
+    rng = np.random.default_rng(seed)
+    target = int(rng.integers(g.num_nodes))
+    fi = enumerate_flows(g, layers, target=target)
+    scores = rng.normal(size=fi.num_flows)
+    via_tensor = fi.aggregate_scores(Tensor(scores)).numpy()
+    via_numpy = fi.aggregate_scores_np(scores)
+    via_sparse = FlowIncidence(fi).aggregate(scores)
+    assert np.allclose(via_tensor, via_numpy)
+    assert np.allclose(via_numpy, via_sparse)
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=small_graphs(), layers=st.integers(1, 3))
+def test_flow_count_monotone_in_depth(g, layers):
+    # Self-loops guarantee at least as many L+1-flows as L-flows.
+    shallow = count_flows(g, layers)
+    deep = count_flows(g, layers + 1)
+    assert deep >= shallow

@@ -1,0 +1,91 @@
+"""GATConv against a from-scratch numpy computation of attention."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.graph import Graph
+from repro.nn import GATConv
+from repro.nn.message_passing import augment_edges
+
+
+def manual_gat(conv: GATConv, graph: Graph) -> np.ndarray:
+    """Recompute single-head GAT output with plain numpy."""
+    W = conv.weight.numpy()            # (F_in, H*F_out) with H=1
+    a_src = conv.att_src.numpy()[0]    # (F_out,)
+    a_dst = conv.att_dst.numpy()[0]
+    bias = conv.bias.numpy()
+    slope = conv.negative_slope
+
+    h = graph.x @ W                    # (N, F_out)
+    src, dst = augment_edges(graph.edge_index, graph.num_nodes)
+    logits = h[src] @ a_src + h[dst] @ a_dst
+    logits = np.where(logits > 0, logits, slope * logits)  # leaky relu
+
+    out = np.zeros_like(h)
+    for j in range(graph.num_nodes):
+        incoming = np.flatnonzero(dst == j)
+        exp = np.exp(logits[incoming] - logits[incoming].max())
+        alpha = exp / exp.sum()
+        out[j] = (alpha[:, None] * h[src[incoming]]).sum(axis=0)
+    return out + bias
+
+
+@pytest.fixture
+def graph():
+    rng = np.random.default_rng(0)
+    edge_index = np.array([[0, 1, 2, 2, 3], [1, 2, 0, 3, 0]])
+    return Graph(edge_index=edge_index, x=rng.normal(size=(4, 5)))
+
+
+class TestGATManual:
+    def test_matches_manual_computation(self, graph):
+        conv = GATConv(5, 7, heads=1, rng=0)
+        expected = manual_gat(conv, graph)
+        actual = conv(Tensor(graph.x), graph.edge_index, graph.num_nodes).numpy()
+        assert np.allclose(actual, expected, atol=1e-10)
+
+    def test_attention_is_convex_combination(self, graph):
+        """Pre-bias output of each node lies in the convex hull of the
+        projected inputs (attention weights sum to 1)."""
+        conv = GATConv(5, 7, heads=1, rng=1)
+        h = graph.x @ conv.weight.numpy()
+        out = conv(Tensor(graph.x), graph.edge_index, graph.num_nodes).numpy()
+        pre_bias = out - conv.bias.numpy()
+        lo = h.min(axis=0) - 1e-9
+        hi = h.max(axis=0) + 1e-9
+        assert ((pre_bias >= lo) & (pre_bias <= hi)).all()
+
+    def test_mask_scales_attention_weighted_message(self, graph):
+        """With a 0.5 mask on one edge, the destination's change equals half
+        of that edge's attention-weighted message (attention unchanged)."""
+        conv = GATConv(5, 7, heads=1, rng=2)
+        x = Tensor(graph.x)
+        n = graph.num_edges + graph.num_nodes
+        full = conv(x, graph.edge_index, graph.num_nodes,
+                    edge_mask=Tensor(np.ones(n))).numpy()
+        half = np.ones(n)
+        half[0] = 0.5  # edge 0 -> 1
+        halved = conv(x, graph.edge_index, graph.num_nodes,
+                      edge_mask=Tensor(half)).numpy()
+        zeroed = np.ones(n)
+        zeroed[0] = 0.0
+        killed = conv(x, graph.edge_index, graph.num_nodes,
+                      edge_mask=Tensor(zeroed)).numpy()
+        # linear in the mask: full - halved == (full - killed) / 2
+        assert np.allclose(full - halved, 0.5 * (full - killed), atol=1e-10)
+
+    def test_multihead_concat_consistency(self, graph):
+        """Each head of a 2-head concat layer equals a 1-head layer with the
+        same per-head parameters."""
+        conv2 = GATConv(5, 3, heads=2, concat_heads=True, rng=3)
+        out2 = conv2(Tensor(graph.x), graph.edge_index, graph.num_nodes).numpy()
+        for head in range(2):
+            conv1 = GATConv(5, 3, heads=1, rng=0)
+            conv1.weight.data = conv2.weight.numpy()[:, head * 3:(head + 1) * 3].copy()
+            conv1.att_src.data = conv2.att_src.numpy()[head:head + 1].copy()
+            conv1.att_dst.data = conv2.att_dst.numpy()[head:head + 1].copy()
+            conv1.bias.data = np.zeros(3)
+            out1 = conv1(Tensor(graph.x), graph.edge_index, graph.num_nodes).numpy()
+            block = out2[:, head * 3:(head + 1) * 3] - conv2.bias.numpy()[head * 3:(head + 1) * 3]
+            assert np.allclose(out1, block, atol=1e-10)

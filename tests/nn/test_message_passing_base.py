@@ -1,0 +1,58 @@
+"""MessagePassing base-layer contract."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import ShapeError
+from repro.nn.message_passing import GraphConv, augment_edges, num_layer_edges
+
+
+class TestAugmentEdges:
+    def test_data_edges_preserved_in_order(self):
+        ei = np.array([[3, 1], [0, 2]])
+        src, dst = augment_edges(ei, 4)
+        assert src[:2].tolist() == [3, 1]
+        assert dst[:2].tolist() == [0, 2]
+
+    def test_self_loops_appended(self):
+        src, dst = augment_edges(np.zeros((2, 0), dtype=int), 3)
+        assert src.tolist() == [0, 1, 2]
+        assert dst.tolist() == [0, 1, 2]
+
+    def test_layer_edge_id_convention(self):
+        """Data edge e has id e; node v's self-loop has id E + v."""
+        ei = np.array([[0, 2], [1, 0]])
+        src, dst = augment_edges(ei, 3)
+        E = 2
+        for v in range(3):
+            assert src[E + v] == v
+            assert dst[E + v] == v
+
+    def test_count_matches_num_layer_edges(self):
+        ei = np.array([[0, 1, 2], [1, 2, 0]])
+        src, _ = augment_edges(ei, 5)
+        assert src.shape[0] == num_layer_edges(3, 5)
+
+
+class TestMaskChecking:
+    def test_none_passthrough(self):
+        assert GraphConv()._check_mask(None, 3, 4) is None
+
+    def test_1d_reshaped_to_column(self):
+        mask = GraphConv()._check_mask(Tensor(np.ones(7)), 3, 4)
+        assert mask.shape == (7, 1)
+
+    def test_2d_accepted(self):
+        mask = GraphConv()._check_mask(Tensor(np.ones((7, 1))), 3, 4)
+        assert mask.shape == (7, 1)
+
+    def test_wrong_length_raises_with_breakdown(self):
+        with pytest.raises(ShapeError) as err:
+            GraphConv()._check_mask(Tensor(np.ones(5)), 3, 4)
+        assert "3 data edges" in str(err.value)
+        assert "4 self-loops" in str(err.value)
+
+    def test_forward_abstract(self):
+        with pytest.raises(NotImplementedError):
+            GraphConv().forward(Tensor(np.ones((2, 2))), np.zeros((2, 0), dtype=int), 2)

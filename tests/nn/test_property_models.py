@@ -1,0 +1,108 @@
+"""Property-based invariants of the GNN models.
+
+The deep ones: graph-level predictions must be invariant to node
+relabelling (message passing + pooling is permutation equivariant), and
+masked forwards must interpolate between the full and empty graphs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor
+from repro.graph import Graph, coalesce_edges
+from repro.nn import GNN
+
+
+@st.composite
+def attributed_graphs(draw):
+    n = draw(st.integers(3, 10))
+    m = draw(st.integers(2, 20))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    keep = src != dst
+    if not keep.any():
+        src, dst = np.array([0]), np.array([1])
+        keep = np.array([True])
+    edge_index = coalesce_edges(np.stack([src[keep], dst[keep]]))
+    x = rng.normal(size=(n, 5))
+    return Graph(edge_index=edge_index, x=x), seed
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=attributed_graphs(), conv=st.sampled_from(["gcn", "gin", "gat"]))
+def test_graph_prediction_permutation_invariant(data, conv):
+    graph, seed = data
+    model = GNN(conv, "graph", 5, 8, 2, num_layers=2,
+                heads=2 if conv == "gat" else 1, rng=0)
+    model.eval()
+    base = model.forward_graph(graph).numpy()
+
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(graph.num_nodes)
+    inverse = np.argsort(perm)
+    permuted = Graph(
+        edge_index=np.stack([perm[graph.src], perm[graph.dst]]),
+        x=graph.x[inverse],
+        num_nodes=graph.num_nodes,
+    )
+    permuted_out = model.forward_graph(permuted).numpy()
+    assert np.allclose(base, permuted_out, atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=attributed_graphs(), conv=st.sampled_from(["gcn", "gin", "gat"]))
+def test_ones_mask_matches_unmasked(data, conv):
+    graph, _ = data
+    model = GNN(conv, "node", 5, 8, 2, num_layers=2,
+                heads=2 if conv == "gat" else 1, rng=0)
+    model.eval()
+    plain = model.forward_graph(graph).numpy()
+    ones = [Tensor(np.ones(graph.num_edges + graph.num_nodes))
+            for _ in range(model.num_layers)]
+    masked = model.forward_graph(graph, edge_masks=ones).numpy()
+    assert np.allclose(plain, masked)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=attributed_graphs())
+def test_node_logits_finite_under_random_masks(data):
+    graph, seed = data
+    rng = np.random.default_rng(seed)
+    model = GNN("gcn", "node", 5, 8, 3, num_layers=2, rng=0)
+    model.eval()
+    masks = [Tensor(rng.uniform(0, 1, graph.num_edges + graph.num_nodes))
+             for _ in range(2)]
+    out = model.forward_graph(graph, edge_masks=masks).numpy()
+    assert np.isfinite(out).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=attributed_graphs())
+def test_probabilities_normalized_on_random_graphs(data):
+    graph, _ = data
+    model = GNN("gin", "node", 5, 8, 4, num_layers=2, rng=0)
+    model.eval()
+    proba = model.predict_proba(graph)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+    assert (proba >= 0).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=attributed_graphs())
+def test_isolated_extra_node_does_not_change_other_logits(data):
+    """Adding an isolated node must leave existing node logits unchanged
+    (locality of message passing)."""
+    graph, _ = data
+    model = GNN("gcn", "node", 5, 8, 2, num_layers=2, rng=0)
+    model.eval()
+    base = model.forward_graph(graph).numpy()
+    extended = Graph(
+        edge_index=graph.edge_index,
+        x=np.concatenate([graph.x, np.zeros((1, 5))]),
+        num_nodes=graph.num_nodes + 1,
+    )
+    out = model.forward_graph(extended).numpy()
+    assert np.allclose(base, out[:-1], atol=1e-8)

@@ -1,0 +1,67 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def small_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_SCALE", "0.12")
+    monkeypatch.setenv("REPRO_INSTANCES", "2")
+    monkeypatch.setenv("REPRO_EFFORT", "0.03")
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_command(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.command == "datasets"
+
+    def test_explain_defaults(self):
+        args = build_parser().parse_args(["explain"])
+        assert args.explainer == "revelio"
+        assert args.mode == "factual"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "-d", "imagenet"])
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cora", "mutag", "ba_shapes"):
+            assert name in out
+
+    def test_train_command(self, capsys):
+        assert main(["train", "-d", "tree_cycles", "-m", "gcn", "--scale", "0.12"]) == 0
+        assert "tree_cycles/gcn" in capsys.readouterr().out
+
+    def test_explain_command(self, capsys):
+        code = main(["explain", "-d", "tree_cycles", "-m", "gcn", "--scale", "0.12",
+                     "-e", "revelio", "--epochs", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "explanatory edges" in out
+        assert "Message Flow" in out  # flow table printed for flow methods
+
+    def test_explain_edge_method_no_flow_table(self, capsys):
+        code = main(["explain", "-d", "tree_cycles", "-m", "gcn", "--scale", "0.12",
+                     "-e", "gradcam"])
+        assert code == 0
+        assert "Message Flow" not in capsys.readouterr().out
+
+    def test_experiment_fidelity(self, capsys):
+        code = main(["experiment", "fidelity", "-d", "tree_cycles", "-m", "gcn",
+                     "--scale", "0.12", "--instances", "2", "--effort", "0.03"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "revelio" in out
+        assert "s=0.5" in out
