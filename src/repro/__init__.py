@@ -28,8 +28,9 @@ from .core import Revelio
 from .datasets import DATASET_NAMES, load_dataset
 from .errors import ReproError
 from .explain import EXPLAINERS, Explainer, Explanation, make_explainer
-from .flows import FlowIndex, count_flows, enumerate_flows, match_flows
+from .flows import FlowIndex, cached_enumerate_flows, count_flows, enumerate_flows, match_flows
 from .graph import Graph, GraphBatch
+from .instrumentation import PERF, perf_snapshot, reset_perf
 from .nn import GNN, Trainer, build_model, get_model
 from .version import __version__
 
@@ -42,8 +43,12 @@ __all__ = [
     "EXPLAINERS",
     "FlowIndex",
     "enumerate_flows",
+    "cached_enumerate_flows",
     "count_flows",
     "match_flows",
+    "PERF",
+    "perf_snapshot",
+    "reset_perf",
     "Graph",
     "GraphBatch",
     "GNN",

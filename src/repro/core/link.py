@@ -19,7 +19,7 @@ import numpy as np
 from ..autograd import Adam, Tensor
 from ..errors import ExplainerError
 from ..explain.base import Explanation
-from ..flows import FlowIndex, enumerate_flows
+from ..flows import FlowIndex, cached_enumerate_flows
 from ..graph import Graph, induced_subgraph, k_hop_subgraph
 from ..nn.link_prediction import LinkPredictor
 from ..rng import ensure_rng
@@ -81,10 +81,10 @@ class LinkRevelio:
 
     def _link_flows(self, graph: Graph, u: int, v: int) -> FlowIndex:
         """Flows ending at either endpoint, as one FlowIndex."""
-        fi_u = enumerate_flows(graph, self.model.num_layers, target=u,
-                               max_flows=self.max_flows)
-        fi_v = enumerate_flows(graph, self.model.num_layers, target=v,
-                               max_flows=self.max_flows)
+        fi_u = cached_enumerate_flows(graph, self.model.num_layers, target=u,
+                                      max_flows=self.max_flows)
+        fi_v = cached_enumerate_flows(graph, self.model.num_layers, target=v,
+                                      max_flows=self.max_flows)
         return FlowIndex(
             nodes=np.concatenate([fi_u.nodes, fi_v.nodes]),
             layer_edges=np.concatenate([fi_u.layer_edges, fi_v.layer_edges]),

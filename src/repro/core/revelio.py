@@ -37,7 +37,7 @@ import numpy as np
 from ..autograd import Adam, Tensor, log_softmax
 from ..errors import ExplainerError
 from ..explain.base import Explainer, Explanation, NodeContext
-from ..flows import FlowIndex, enumerate_flows
+from ..flows import FlowIndex, cached_enumerate_flows
 from ..graph import Graph
 from ..nn.models import GNN
 from ..rng import ensure_rng
@@ -104,8 +104,9 @@ class Revelio(Explainer):
         # explanation must target what the model actually predicts.
         class_idx = self.predicted_class(graph, target=node)
         context = self.node_context(graph, node)
-        flow_index = enumerate_flows(context.subgraph, self.model.num_layers,
-                                     target=context.local_target, max_flows=self.max_flows)
+        flow_index = cached_enumerate_flows(context.subgraph, self.model.num_layers,
+                                            target=context.local_target,
+                                            max_flows=self.max_flows)
         explanation = self._optimize(context.subgraph, flow_index, mode,
                                      target=context.local_target, class_idx=class_idx)
         explanation.target = node
@@ -118,8 +119,8 @@ class Revelio(Explainer):
 
     def explain_graph(self, graph: Graph, mode: str = "factual") -> Explanation:
         """Explain a graph-level prediction via message-flow masks."""
-        flow_index = enumerate_flows(graph, self.model.num_layers,
-                                     max_flows=self.max_flows)
+        flow_index = cached_enumerate_flows(graph, self.model.num_layers,
+                                            max_flows=self.max_flows)
         return self._optimize(graph, flow_index, mode, target=None)
 
     # ------------------------------------------------------------------

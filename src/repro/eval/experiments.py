@@ -25,7 +25,7 @@ from ..nn.models import GNN
 from ..nn.zoo import get_model
 from ..rng import ensure_rng
 from .auc import mean_explanation_auc
-from .fidelity import Instance, fidelity_minus, fidelity_plus
+from .fidelity import Instance, fidelity_curve
 from .timing import TimingResult, time_explainer
 
 __all__ = [
@@ -201,7 +201,7 @@ def run_fidelity_experiment(dataset_name: str, conv: str, methods: tuple[str, ..
     config = config or ExperimentConfig()
     model, dataset, _ = get_model(dataset_name, conv, scale=config.scale, seed=config.seed)
     instances = build_instances(dataset, config.resolved_instances(), seed=config.seed)
-    metric = fidelity_minus if mode == "factual" else fidelity_plus
+    fid_metric = "minus" if mode == "factual" else "plus"
 
     curves: dict[str, dict[float, float]] = {}
     rows: list[str] = []
@@ -211,8 +211,8 @@ def run_fidelity_experiment(dataset_name: str, conv: str, methods: tuple[str, ..
         result = run_explainer(method, model, instances, mode=mode,
                                effort=config.resolved_effort(), alpha=config.alpha,
                                seed=config.seed)
-        curve = {s: metric(model, instances, result.explanations, s)
-                 for s in config.sparsities}
+        curve = fidelity_curve(model, instances, result.explanations,
+                               list(config.sparsities), metric=fid_metric)
         curves[method] = curve
         values = "  ".join(f"{curve[s]:+.3f}" for s in config.sparsities)
         rows.append(f"{method:<14} {values}")
@@ -286,15 +286,15 @@ def run_alpha_sensitivity(dataset_name: str, conv: str,
     config = config or ExperimentConfig()
     model, dataset, _ = get_model(dataset_name, conv, scale=config.scale, seed=config.seed)
     instances = build_instances(dataset, config.resolved_instances(), seed=config.seed)
-    metric = fidelity_minus if mode == "factual" else fidelity_plus
+    fid_metric = "minus" if mode == "factual" else "plus"
 
     curves: dict[float, dict[float, float]] = {}
     for alpha in alphas:
         result = run_explainer("revelio", model, instances, mode=mode,
                                effort=config.resolved_effort(), alpha=alpha,
                                seed=config.seed)
-        curves[alpha] = {s: metric(model, instances, result.explanations, s)
-                         for s in config.sparsities}
+        curves[alpha] = fidelity_curve(model, instances, result.explanations,
+                                       list(config.sparsities), metric=fid_metric)
     rows = [f"{'alpha':<8} " + "  ".join(f"s={s:.1f}" for s in config.sparsities)]
     for alpha, curve in curves.items():
         rows.append(f"{alpha:<8.2f} " + "  ".join(f"{curve[s]:+.3f}" for s in config.sparsities))

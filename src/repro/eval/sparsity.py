@@ -18,7 +18,8 @@ import numpy as np
 from ..errors import EvaluationError
 from ..graph import Graph
 
-__all__ = ["select_explanatory_edges", "explanatory_subgraph", "unexplanatory_subgraph"]
+__all__ = ["select_explanatory_edges", "explanatory_keep_mask", "unexplanatory_keep_mask",
+           "explanatory_subgraph", "unexplanatory_subgraph"]
 
 
 def select_explanatory_edges(edge_scores: np.ndarray, sparsity: float,
@@ -49,26 +50,45 @@ def select_explanatory_edges(edge_scores: np.ndarray, sparsity: float,
     return candidate_edges[order[:keep]]
 
 
+def explanatory_keep_mask(num_edges: int, edge_scores: np.ndarray, sparsity: float,
+                          candidate_edges: np.ndarray | None = None) -> np.ndarray:
+    """Boolean ``(E,)`` retention mask of ``G^(s)``.
+
+    Keeps the explanatory candidates plus every edge outside the candidate
+    set; the masked-forward engine consumes this directly, and
+    :func:`explanatory_subgraph` materializes it as a pruned graph.
+    """
+    chosen = select_explanatory_edges(edge_scores, sparsity, candidate_edges)
+    keep = np.ones(num_edges, dtype=bool)
+    if candidate_edges is None:
+        keep[:] = False
+    else:
+        keep[np.asarray(candidate_edges, dtype=np.int64)] = False
+    keep[chosen] = True
+    return keep
+
+
+def unexplanatory_keep_mask(num_edges: int, edge_scores: np.ndarray, sparsity: float,
+                            candidate_edges: np.ndarray | None = None) -> np.ndarray:
+    """Boolean ``(E,)`` retention mask of ``G^(s̄)``."""
+    chosen = select_explanatory_edges(edge_scores, sparsity, candidate_edges)
+    keep = np.ones(num_edges, dtype=bool)
+    keep[chosen] = False
+    return keep
+
+
 def explanatory_subgraph(graph: Graph, edge_scores: np.ndarray, sparsity: float,
                          candidate_edges: np.ndarray | None = None) -> Graph:
     """``G^(s)``: keep explanatory edges, drop the other candidates.
 
     Edges outside ``candidate_edges`` are always retained.
     """
-    chosen = select_explanatory_edges(edge_scores, sparsity, candidate_edges)
-    keep = np.ones(graph.num_edges, dtype=bool)
-    if candidate_edges is None:
-        keep[:] = False
-    else:
-        keep[np.asarray(candidate_edges, dtype=np.int64)] = False
-    keep[chosen] = True
+    keep = explanatory_keep_mask(graph.num_edges, edge_scores, sparsity, candidate_edges)
     return graph.with_edges(keep)
 
 
 def unexplanatory_subgraph(graph: Graph, edge_scores: np.ndarray, sparsity: float,
                            candidate_edges: np.ndarray | None = None) -> Graph:
     """``G^(s̄)``: remove the explanatory edges, keep everything else."""
-    chosen = select_explanatory_edges(edge_scores, sparsity, candidate_edges)
-    keep = np.ones(graph.num_edges, dtype=bool)
-    keep[chosen] = False
+    keep = unexplanatory_keep_mask(graph.num_edges, edge_scores, sparsity, candidate_edges)
     return graph.with_edges(keep)

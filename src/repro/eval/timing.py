@@ -10,14 +10,15 @@ analysis).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..explain.base import Explainer, Explanation
+from ..instrumentation import PERF, PerfCounters
 from .fidelity import Instance
 
-__all__ = ["TimingResult", "time_explainer"]
+__all__ = ["TimingResult", "time_explainer", "PERF"]
 
 
 @dataclass
@@ -28,6 +29,9 @@ class TimingResult:
     total_seconds: float
     per_instance: list[float]
     explanations: list[Explanation]
+    #: Engine activity during the run: forward / enumeration / cache-hit
+    #: counters and stage wall-clocks (delta of the global PERF counters).
+    counters: dict = field(default_factory=dict)
 
     @property
     def mean_seconds(self) -> float:
@@ -49,6 +53,7 @@ def time_explainer(explainer: Explainer, instances: list[Instance],
     """Explain every instance, recording wall-clock per call."""
     per_instance = []
     explanations = []
+    before = PERF.snapshot()
     t_start = time.perf_counter()
     for inst in instances:
         t0 = time.perf_counter()
@@ -59,4 +64,5 @@ def time_explainer(explainer: Explainer, instances: list[Instance],
         total_seconds=time.perf_counter() - t_start,
         per_instance=per_instance,
         explanations=explanations,
+        counters=PerfCounters.delta(before, PERF.snapshot()),
     )

@@ -20,18 +20,46 @@ return the same scores for both, as in the paper's experiments.
 
 from __future__ import annotations
 
+import hashlib
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import ExplainerError
-from ..flows import FlowIndex
+from ..flows import FlowIndex, graph_fingerprint
+from ..flows.cache import LRUCache
 from ..graph import Graph, induced_subgraph, k_hop_subgraph
+from ..instrumentation import PERF
 from ..nn.models import GNN
 
-__all__ = ["Explanation", "Explainer", "NodeContext", "MODES"]
+__all__ = ["Explanation", "Explainer", "NodeContext", "MODES",
+           "CONTEXT_CACHE", "context_cache_disabled", "clear_context_cache"]
 
 MODES = ("factual", "counterfactual")
+
+#: Cross-explainer L-hop context cache. Every explainer extracts the same
+#: L-hop neighborhood for the same (graph, target); contexts are read-only
+#: by convention (perturbation methods copy before mutating), so one
+#: extraction is shared by all of them.
+CONTEXT_CACHE = LRUCache(maxsize=256)
+_CONTEXT_CACHE_ENABLED = [True]
+
+
+def clear_context_cache() -> None:
+    """Explicitly drop every cached node context."""
+    CONTEXT_CACHE.clear()
+
+
+@contextmanager
+def context_cache_disabled():
+    """Temporarily bypass the context cache (benchmark baselines)."""
+    prev = _CONTEXT_CACHE_ENABLED[0]
+    _CONTEXT_CACHE_ENABLED[0] = False
+    try:
+        yield
+    finally:
+        _CONTEXT_CACHE_ENABLED[0] = prev
 
 
 @dataclass
@@ -198,7 +226,26 @@ class Explainer:
     # shared helpers
     # ------------------------------------------------------------------
     def node_context(self, graph: Graph, node: int) -> NodeContext:
-        """Extract the L-hop incoming neighborhood of ``node``."""
+        """Extract the L-hop incoming neighborhood of ``node``.
+
+        Cached across explainer instances: the key covers graph structure,
+        node features (the subgraph slices ``x``), depth and target, so a
+        changed graph can never serve a stale context. Callers must treat
+        the returned context as read-only (all in-tree consumers do).
+        """
+        if not _CONTEXT_CACHE_ENABLED[0]:
+            return self._extract_context(graph, node)
+        x_hash = hashlib.sha1(np.ascontiguousarray(graph.x).tobytes()).hexdigest()
+        key = (graph_fingerprint(graph), x_hash, self.model.num_layers, int(node))
+        context = CONTEXT_CACHE.get(key)
+        if context is None:
+            context = self._extract_context(graph, node)
+            CONTEXT_CACHE.put(key, context)
+        else:
+            PERF.context_cache_hits += 1
+        return context
+
+    def _extract_context(self, graph: Graph, node: int) -> NodeContext:
         node_ids, edge_mask = k_hop_subgraph(graph, node, self.model.num_layers)
         subgraph, node_ids, edge_mask = induced_subgraph(graph, node_ids)
         remap = {int(orig): i for i, orig in enumerate(node_ids)}

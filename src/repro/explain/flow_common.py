@@ -14,7 +14,8 @@ from ..flows import FlowIndex
 from ..graph import Graph
 from ..nn.models import GNN
 
-__all__ = ["masked_probability", "flow_scores_to_edge_scores", "sigmoid"]
+__all__ = ["masked_probability", "masked_probability_batch",
+           "flow_scores_to_edge_scores", "sigmoid"]
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
@@ -42,6 +43,27 @@ def masked_probability(model: GNN, graph: Graph, layer_masks: np.ndarray,
         probs = softmax(logits, axis=-1).numpy()
     row = probs[target] if target is not None else probs[0]
     return float(row[class_idx])
+
+
+def masked_probability_batch(model: GNN, graph: Graph, mask_stack: np.ndarray,
+                             class_idx: int, target: int | None,
+                             structural: bool = False) -> np.ndarray:
+    """Vectorized :func:`masked_probability` over a stack of mask sets.
+
+    Parameters
+    ----------
+    mask_stack:
+        ``(B, L, E+N)`` float multipliers; each of the ``B`` rows is one
+        complete per-layer mask set.
+
+    Returns
+    -------
+    np.ndarray
+        ``(B,)`` probabilities ``P(class | graph, masks_b)``.
+    """
+    probs = model.predict_proba_batch(graph, mask_stack, structural=structural)
+    row = target if target is not None else 0
+    return probs[:, row, class_idx]
 
 
 def flow_scores_to_edge_scores(flow_index: FlowIndex, flow_scores: np.ndarray) -> np.ndarray:

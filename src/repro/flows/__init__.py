@@ -1,5 +1,13 @@
 """Message-flow enumeration, incidence and pattern queries."""
 
+from .cache import (
+    FLOW_CACHE,
+    FlowCache,
+    cached_enumerate_flows,
+    flow_cache_disabled,
+    graph_fingerprint,
+    invalidate,
+)
 from .enumeration import FlowIndex, count_flows, enumerate_flows
 from .grouping import (
     group_by_destination,
@@ -14,6 +22,12 @@ __all__ = [
     "FlowIndex",
     "enumerate_flows",
     "count_flows",
+    "cached_enumerate_flows",
+    "FlowCache",
+    "FLOW_CACHE",
+    "flow_cache_disabled",
+    "graph_fingerprint",
+    "invalidate",
     "FlowIncidence",
     "FlowPattern",
     "match_flows",

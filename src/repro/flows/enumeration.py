@@ -22,6 +22,7 @@ import numpy as np
 from ..autograd import Tensor
 from ..errors import FlowError
 from ..graph import Graph
+from ..instrumentation import PERF
 from ..nn.message_passing import augment_edges, num_layer_edges
 
 __all__ = ["FlowIndex", "enumerate_flows", "count_flows"]
@@ -64,6 +65,41 @@ class FlowIndex:
         self.layer_edges = np.asarray(self.layer_edges, dtype=np.int64).reshape(-1, self.num_layers)
         if self.nodes.shape[0] != self.layer_edges.shape[0]:
             raise FlowError("nodes / layer_edges row mismatch")
+        # Lazily built caches — the incidence structure is fixed, so the
+        # gather/scatter index arrays used by aggregate_scores (rebuilt on
+        # every mask-training epoch otherwise) and the FlowIncidence view
+        # are computed once and reused.
+        self._gather_index: np.ndarray | None = None
+        self._scatter_index: np.ndarray | None = None
+        self._incidence = None
+
+    def _aggregation_indices(self, reuse: bool = True) -> tuple[np.ndarray, np.ndarray]:
+        """``(gather, scatter)`` index arrays for flow → layer-edge sums.
+
+        ``gather`` repeats each flow id once per layer (layer-major);
+        ``scatter`` maps those rows to flattened ``l * (E+N) + edge_id``
+        slots. Cached on first use; ``reuse=False`` rebuilds from scratch
+        (used by the autograd regression test to pin down bit-identity).
+        """
+        if reuse and self._gather_index is not None and self._scatter_index is not None:
+            return self._gather_index, self._scatter_index
+        width = self.num_layer_edges
+        gather = np.tile(np.arange(self.num_flows), self.num_layers)
+        scatter = (
+            np.repeat(np.arange(self.num_layers), self.num_flows) * width
+            + self.layer_edges.T.reshape(-1)
+        )
+        if reuse:
+            self._gather_index, self._scatter_index = gather, scatter
+        return gather, scatter
+
+    def incidence(self):
+        """Cached :class:`repro.flows.incidence.FlowIncidence` view."""
+        if self._incidence is None:
+            from .incidence import FlowIncidence
+
+            self._incidence = FlowIncidence(self)
+        return self._incidence
 
     # ------------------------------------------------------------------
     # sizes
@@ -100,13 +136,18 @@ class FlowIndex:
         width = self.num_layer_edges
         return (np.arange(self.num_layers)[None, :] * width + self.layer_edges).reshape(-1)
 
-    def aggregate_scores(self, flow_scores: Tensor) -> Tensor:
+    def aggregate_scores(self, flow_scores: Tensor, reuse_indices: bool = True) -> Tensor:
         """Sum flow scores onto layer edges (Eq. 3, ``f`` = summation).
 
         Parameters
         ----------
         flow_scores:
             ``(F,)`` tensor of per-flow scores (e.g. ``tanh(M)``).
+        reuse_indices:
+            Reuse the precomputed gather/scatter index arrays (the default;
+            they depend only on the fixed incidence structure). ``False``
+            rebuilds them each call, matching the pre-optimization code
+            path exactly.
 
         Returns
         -------
@@ -119,22 +160,19 @@ class FlowIndex:
                 f"flow_scores has {flow_scores.shape[0]} entries, expected {self.num_flows}"
             )
         width = self.num_layer_edges
-        tiled = flow_scores.gather_rows(np.tile(np.arange(self.num_flows), self.num_layers))
+        gather, scatter = self._aggregation_indices(reuse=reuse_indices)
         # tiled is ordered layer-major: flow block per layer.
-        index = (
-            np.repeat(np.arange(self.num_layers), self.num_flows) * width
-            + self.layer_edges.T.reshape(-1)
-        )
-        flat = tiled.scatter_add(index, self.num_layers * width)
+        tiled = flow_scores.gather_rows(gather)
+        flat = tiled.scatter_add(scatter, self.num_layers * width)
         return flat.reshape(self.num_layers, width)
 
     def aggregate_scores_np(self, flow_scores: np.ndarray) -> np.ndarray:
         """Numpy-only version of :meth:`aggregate_scores` (no tape)."""
         width = self.num_layer_edges
-        out = np.zeros((self.num_layers, width))
-        for l in range(self.num_layers):
-            np.add.at(out[l], self.layer_edges[:, l], flow_scores)
-        return out
+        gather, scatter = self._aggregation_indices()
+        out = np.zeros(self.num_layers * width)
+        np.add.at(out, scatter, flow_scores[gather])
+        return out.reshape(self.num_layers, width)
 
     def used_layer_edges(self) -> np.ndarray:
         """Boolean ``(L, E+N)``: layer edges that carry at least one flow.
@@ -216,6 +254,7 @@ def enumerate_flows(graph: Graph, num_layers: int, target: int | None = None,
     if target is not None and not 0 <= target < graph.num_nodes:
         raise FlowError(f"target {target} out of range")
 
+    PERF.flow_enumerations += 1
     in_src, in_ids = _incoming_lists(graph)
 
     # Grow paths backwards from the final node(s): a partial path of length
@@ -257,15 +296,26 @@ def enumerate_flows(graph: Graph, num_layers: int, target: int | None = None,
 
 
 def count_flows(graph: Graph, num_layers: int, target: int | None = None) -> int:
-    """Count flows without enumerating them (via adjacency matrix powers).
+    """Count flows without enumerating them (via sparse adjacency powers).
 
-    Used for capacity planning and as an independent oracle in tests.
+    Used for capacity planning and as an independent oracle in tests. The
+    count only needs ``1ᵀ Aᴸ e_target`` (or ``1ᵀ Aᴸ 1``), so we iterate L
+    sparse mat-vec products instead of materializing a dense ``N × N``
+    matrix power — O(L · nnz) time, O(N) extra memory.
     """
+    import scipy.sparse as sp
+
     src, dst = augment_edges(graph.edge_index, graph.num_nodes)
     n = graph.num_nodes
-    adj = np.zeros((n, n), dtype=np.int64)
-    np.add.at(adj, (src, dst), 1)
-    paths = np.linalg.matrix_power(adj.astype(np.float64), num_layers)
+    adj = sp.csr_matrix(
+        (np.ones(src.shape[0]), (src, dst)), shape=(n, n)
+    )
     if target is None:
-        return int(round(paths.sum()))
-    return int(round(paths[:, target].sum()))
+        v = np.ones(n)
+    else:
+        v = np.zeros(n)
+        v[target] = 1.0
+    # paths[:, t].sum() == 1ᵀ Aᴸ e_t, accumulated right-to-left.
+    for _ in range(num_layers):
+        v = adj @ v
+    return int(round(v.sum()))

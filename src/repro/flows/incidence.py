@@ -61,8 +61,9 @@ class FlowIncidence:
         This is the set FlowX must account for when it deletes edges: every
         flow whose path uses a removed edge is silenced.
         """
-        hit = np.zeros(self.index.num_flows, dtype=bool)
-        ids = set(int(e) for e in np.asarray(layer_edge_ids).reshape(-1))
-        for l in range(self.index.num_layers):
-            hit |= np.isin(self.index.layer_edges[:, l], list(ids))
-        return hit
+        ids = np.unique(np.asarray(layer_edge_ids, dtype=np.int64).reshape(-1))
+        if ids.size == 0:
+            return np.zeros(self.index.num_flows, dtype=bool)
+        # One isin over the whole (F, L) table, reduced along the layer
+        # axis — no per-layer Python loop or set round-trip.
+        return np.isin(self.index.layer_edges, ids).any(axis=1)

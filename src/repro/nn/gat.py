@@ -84,6 +84,50 @@ class GATConv(GraphConv):
             out = out.mean(axis=1)
         return out + self.bias
 
+    def forward_np_batch(self, x: np.ndarray, edge_index: np.ndarray, num_nodes: int,
+                         edge_mask: np.ndarray | None = None,
+                         structural: bool = False) -> np.ndarray:
+        from .batched import scatter_edge_major, segment_softmax_edge_major
+
+        src, dst = augment_edges(edge_index, num_nodes)
+        B = x.shape[1]
+        edge_mask = self._check_mask_np(edge_mask, B, edge_index.shape[1], num_nodes)
+        mask_t = edge_mask.T if edge_mask is not None else None   # (A, B) view
+
+        shared_x = x.strides[1] == 0
+        if shared_x:
+            # Batch-broadcast features: one projection / attention-logit
+            # computation shared by all rows (batch axis kept at size 1;
+            # the mask multiplies below re-expand it).
+            h = (x[:, 0, :] @ self.weight.data).reshape(
+                num_nodes, 1, self.heads, self.out_features
+            )
+        else:
+            h = (x.reshape(-1, x.shape[-1]) @ self.weight.data).reshape(
+                num_nodes, B, self.heads, self.out_features
+            )
+        alpha_src = (h * self.att_src.data).sum(axis=-1)   # (N, B', H)
+        alpha_dst = (h * self.att_dst.data).sum(axis=-1)   # (N, B', H)
+        logits = alpha_src[src] + alpha_dst[dst]           # (A, B', H)
+        logits = np.where(logits > 0, logits, logits * self.negative_slope)
+        # Structural removal renormalizes attention over surviving edges;
+        # Eq. (6) masking keeps the normalization intact.
+        weights = mask_t if (structural and edge_mask is not None) else None
+        attention = segment_softmax_edge_major(logits, dst, num_nodes, weights=weights)
+
+        messages = h[src] * attention[:, :, :, None]       # (A, B', H, F)
+        if edge_mask is not None and not structural:
+            messages = messages * mask_t[:, :, None, None]
+        out = scatter_edge_major(messages, dst, num_nodes)  # (N, B', H, F)
+        if out.shape[1] != B:
+            out = np.broadcast_to(out, (num_nodes, B) + out.shape[2:])
+
+        if self.concat_heads:
+            out = out.reshape(num_nodes, B, self.heads * self.out_features)
+        else:
+            out = out.mean(axis=2)
+        return out + self.bias.data
+
     def __repr__(self) -> str:
         return (
             f"GATConv({self.in_features}, {self.out_features}, heads={self.heads}, "

@@ -62,5 +62,40 @@ class GINConv(GraphConv):
         aggregated = messages.scatter_add(dst, num_nodes)
         return self.mlp(aggregated)
 
+    def forward_np_batch(self, x: np.ndarray, edge_index: np.ndarray, num_nodes: int,
+                         edge_mask: np.ndarray | None = None,
+                         structural: bool = False) -> np.ndarray:
+        from .batched import apply_dense_np, scatter_edge_major
+
+        src, dst = augment_edges(edge_index, num_nodes)
+        num_edges = edge_index.shape[1]
+        B = x.shape[1]
+        edge_mask = self._check_mask_np(edge_mask, B, num_edges, num_nodes)
+
+        # GIN aggregation is a plain sum, so masking a message already
+        # equals removing its edge; structural mode needs no extra work.
+        # Fold the (1 + eps) self-loop scale and the mask into one (A, B)
+        # coefficient, traversing the (A, B, F) payload a single time.
+        coeff = None
+        if self.eps is not None:
+            scale = np.ones(src.shape[0])
+            scale[num_edges:] = 1.0 + float(self.eps.data[0])
+            coeff = scale[:, None]                    # (A, 1)
+        if edge_mask is not None:
+            mask_t = edge_mask.T                      # (A, B) view
+            coeff = mask_t if coeff is None else coeff * mask_t
+
+        shared_x = x.strides[1] == 0
+        if shared_x:
+            # Batch-broadcast features: gather once.
+            gathered = np.ascontiguousarray(x[:, 0, :][src])[:, None, :]  # (A, 1, F)
+        else:
+            gathered = x[src]                         # (A, B, F)
+        messages = gathered if coeff is None else coeff[:, :, None] * gathered
+        aggregated = scatter_edge_major(messages, dst, num_nodes)
+        if aggregated.shape[1] != B:
+            aggregated = np.broadcast_to(aggregated, (num_nodes, B) + aggregated.shape[2:])
+        return apply_dense_np(self.mlp, aggregated)
+
     def __repr__(self) -> str:
         return f"GINConv({self.in_features}, {self.out_features})"

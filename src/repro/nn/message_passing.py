@@ -71,6 +71,48 @@ class GraphConv(Module):
             )
         return edge_mask
 
+    @staticmethod
+    def _check_mask_np(edge_mask: np.ndarray | None, batch_size: int,
+                       num_edges: int, num_nodes: int) -> np.ndarray | None:
+        """Validate a batched ``(B, E+N)`` numpy mask for the fast path."""
+        if edge_mask is None:
+            return None
+        edge_mask = np.asarray(edge_mask, dtype=np.float64)
+        expected = num_layer_edges(num_edges, num_nodes)
+        if edge_mask.shape != (batch_size, expected):
+            raise ShapeError(
+                f"batched edge mask has shape {edge_mask.shape}, expected "
+                f"({batch_size}, {expected})"
+            )
+        return edge_mask
+
     def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int,
                 edge_mask: Tensor | None = None) -> Tensor:
+        raise NotImplementedError
+
+    def forward_np_batch(self, x: np.ndarray, edge_index: np.ndarray, num_nodes: int,
+                         edge_mask: np.ndarray | None = None,
+                         structural: bool = False) -> np.ndarray:
+        """Pure-numpy batched forward over a stack of edge-mask sets.
+
+        Parameters
+        ----------
+        x:
+            ``(N, B, F)`` *node-major* stacked features — the engine keeps
+            the batch axis second so scatters reduce to zero-copy CSR
+            matmuls and projections to single GEMMs (see
+            :mod:`repro.nn.batched`). A zero-stride batch axis marks
+            batch-shared features; implementations then compute the shared
+            work once.
+        edge_mask:
+            Optional ``(B, E+N)`` per-layer-edge multipliers, one row per
+            batch element (batch-major, as callers build them).
+        structural:
+            With binary masks, emulate edge *removal* instead of message
+            down-weighting (see :mod:`repro.nn.batched`).
+
+        Returns ``(N, B, F_out)``. No Tensor/tape objects are allocated —
+        this is the ``no_grad`` fast path the perturbation explainers
+        batch over.
+        """
         raise NotImplementedError

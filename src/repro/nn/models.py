@@ -12,8 +12,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Linear, Module, Tensor, log_softmax, no_grad, softmax
-from ..errors import ModelError
+from ..errors import ModelError, ShapeError
 from ..graph import Graph, GraphBatch
+from ..instrumentation import PERF
 from ..rng import ensure_rng
 from .gat import GATConv
 from .gcn import GCNConv
@@ -113,6 +114,7 @@ class GNN(Module):
         batch, num_graphs:
             For graph tasks, node→graph assignment and graph count.
         """
+        PERF.single_forwards += 1
         h = x if isinstance(x, Tensor) else Tensor(x)
         if edge_masks is not None and len(edge_masks) != self.num_layers:
             raise ModelError(
@@ -149,6 +151,111 @@ class GNN(Module):
             batch.x, batch.edge_index, batch.num_nodes,
             edge_masks=edge_masks, batch=batch.batch, num_graphs=batch.num_graphs,
         )
+
+    # ------------------------------------------------------------------
+    # batched masked inference (pure numpy, no tape)
+    # ------------------------------------------------------------------
+    def forward_masked_batch(self, graph: Graph, mask_stack: np.ndarray | None = None,
+                             *, structural: bool = False,
+                             x_stack: np.ndarray | None = None) -> np.ndarray:
+        """Logits for a *stack* of per-layer edge-mask sets in one pass.
+
+        Evaluates ``B`` mask (and/or feature) variations of ``graph`` under
+        the shared frozen weights by broadcasting a leading batch axis —
+        the vectorized equivalent of ``B`` calls to :meth:`forward_graph`,
+        without allocating a single Tensor or tape node.
+
+        Parameters
+        ----------
+        graph:
+            The instance being perturbed.
+        mask_stack:
+            ``(B, L, E+N)`` per-layer edge masks (the layer-edge id space of
+            :mod:`repro.nn.message_passing`), or ``None`` for unmasked
+            forwards (then ``x_stack`` sets ``B``).
+        structural:
+            Treat binary masks as edge *removal* (recomputed GCN degree
+            normalization, attention renormalized over surviving edges) —
+            row ``b`` then equals
+            ``forward_graph(graph.with_edges(mask_stack[b, 0, :E] > 0))``.
+        x_stack:
+            Optional ``(B, N, F)`` perturbed node-feature stacks (e.g.
+            PGM-Explainer's perturbation tables). Defaults to broadcasting
+            ``graph.x``.
+
+        Returns
+        -------
+        ``(B, rows, C)`` logits; ``rows`` is ``N`` for node tasks and ``1``
+        for graph tasks.
+        """
+        if mask_stack is None and x_stack is None:
+            raise ModelError("forward_masked_batch needs mask_stack and/or x_stack")
+        num_nodes = graph.num_nodes
+        width = num_layer_edges(graph.num_edges, num_nodes)
+        if mask_stack is not None:
+            mask_stack = np.asarray(mask_stack, dtype=np.float64)
+            if mask_stack.ndim != 3 or mask_stack.shape[1:] != (self.num_layers, width):
+                raise ShapeError(
+                    f"mask_stack must have shape (B, {self.num_layers}, {width}), "
+                    f"got {mask_stack.shape}"
+                )
+        if x_stack is not None:
+            x_stack = np.asarray(x_stack, dtype=np.float64)
+            if x_stack.ndim != 3 or x_stack.shape[1:] != graph.x.shape:
+                raise ShapeError(
+                    f"x_stack must have shape (B, {num_nodes}, {graph.num_features}), "
+                    f"got {x_stack.shape}"
+                )
+        if mask_stack is not None and x_stack is not None \
+                and mask_stack.shape[0] != x_stack.shape[0]:
+            raise ShapeError(
+                f"mask_stack batch {mask_stack.shape[0]} != x_stack batch {x_stack.shape[0]}"
+            )
+        B = mask_stack.shape[0] if mask_stack is not None else x_stack.shape[0]
+        PERF.batched_forwards += 1
+        PERF.batched_rows += B
+
+        with PERF.stage("masked_forward_batch"):
+            # The engine runs node-major — hidden state (N, B, F) — so every
+            # scatter is a zero-copy CSR matmul and every projection a single
+            # GEMM (see repro.nn.batched). Only the final logits transpose
+            # back to the caller's (B, rows, C) convention.
+            if x_stack is not None:
+                h = np.ascontiguousarray(x_stack.transpose(1, 0, 2))  # (N, B, F)
+            else:
+                # Zero-stride batch axis: convs detect this and compute
+                # batch-shared work once.
+                h = np.broadcast_to(graph.x[:, None, :],
+                                    (num_nodes, B, graph.x.shape[1]))
+            for l, conv in enumerate(self.convs):
+                mask = mask_stack[:, l, :] if mask_stack is not None else None
+                h = conv.forward_np_batch(h, graph.edge_index, num_nodes,
+                                          edge_mask=mask, structural=structural)
+                h = np.maximum(h, 0.0)
+
+            if self.task == "graph":
+                pooled = {"sum": np.sum, "mean": np.mean, "max": np.max}[self.pool](
+                    h, axis=0
+                )  # (B, F) — the whole stack is one graph
+                out = pooled @ self.head.weight.data
+                if self.head.bias is not None:
+                    out = out + self.head.bias.data
+                return out[:, None, :]
+            out = h.reshape(-1, h.shape[-1]) @ self.head.weight.data
+            if self.head.bias is not None:
+                out = out + self.head.bias.data
+            out = out.reshape(num_nodes, B, -1).transpose(1, 0, 2)
+        return out
+
+    def predict_proba_batch(self, graph: Graph, mask_stack: np.ndarray | None = None,
+                            *, structural: bool = False,
+                            x_stack: np.ndarray | None = None) -> np.ndarray:
+        """Class probabilities for a mask/feature stack: ``(B, rows, C)``."""
+        logits = self.forward_masked_batch(graph, mask_stack, structural=structural,
+                                           x_stack=x_stack)
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=-1, keepdims=True)
 
     # ------------------------------------------------------------------
     # inference helpers

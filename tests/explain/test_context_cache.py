@@ -1,0 +1,54 @@
+"""Cross-explainer node-context cache behavior."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.explain.base import (
+    CONTEXT_CACHE,
+    clear_context_cache,
+    context_cache_disabled,
+)
+from repro.explain.random_baseline import RandomExplainer
+from repro.instrumentation import PERF
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache():
+    clear_context_cache()
+    yield
+    clear_context_cache()
+
+
+def test_context_shared_across_explainer_instances(mini_ba_shapes, node_model):
+    g = mini_ba_shapes.graph
+    node = int(mini_ba_shapes.motif_nodes[0])
+    a = RandomExplainer(node_model).node_context(g, node)
+    hits_before = PERF.context_cache_hits
+    b = RandomExplainer(node_model, seed=1).node_context(g, node)
+    assert b is a
+    assert PERF.context_cache_hits == hits_before + 1
+
+
+def test_feature_change_misses_cache(mini_ba_shapes, node_model):
+    g = mini_ba_shapes.graph
+    node = int(mini_ba_shapes.motif_nodes[0])
+    expl = RandomExplainer(node_model)
+    a = expl.node_context(g, node)
+    perturbed = g.copy()
+    perturbed.x = g.x * 0.5
+    b = expl.node_context(perturbed, node)
+    assert b is not a
+    np.testing.assert_allclose(b.subgraph.x, a.subgraph.x * 0.5)
+
+
+def test_disabled_context_cache(mini_ba_shapes, node_model):
+    g = mini_ba_shapes.graph
+    node = int(mini_ba_shapes.motif_nodes[0])
+    expl = RandomExplainer(node_model)
+    with context_cache_disabled():
+        a = expl.node_context(g, node)
+        b = expl.node_context(g, node)
+    assert a is not b
+    assert len(CONTEXT_CACHE) == 0
