@@ -8,6 +8,8 @@ Commands
                                         explain one instance
 ``repro experiment fidelity -d mutag -m gin --mode factual``
                                         regenerate one artifact's rows
+``repro experiment fidelity -d mutag -m gin --jobs 4 --resume runs/fid.jsonl``
+                                        sharded + checkpointed variant
 """
 
 from __future__ import annotations
@@ -62,6 +64,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--mode", choices=("factual", "counterfactual"), default="factual")
     p_exp.add_argument("--instances", type=int, default=None)
     p_exp.add_argument("--effort", type=float, default=None)
+    p_exp.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="shard the artifact through repro.runner: 1 = inline, "
+                            "N > 1 = crash-isolated worker pool "
+                            "(fidelity/auc/runtime only)")
+    p_exp.add_argument("--resume", default=None, metavar="PATH",
+                       help="JSONL journal checkpointing every job; an existing "
+                            "journal is resumed, skipping finished jobs "
+                            "(implies --jobs 1 unless --jobs is given)")
+    p_exp.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-job timeout (enforced with --jobs >= 2)")
+    p_exp.add_argument("--retries", type=int, default=1,
+                       help="extra attempts per failed job (default 1)")
 
     p_report = sub.add_parser("report", help="aggregate benchmark artifacts into markdown")
     p_report.add_argument("--results", default="benchmarks/results",
@@ -125,23 +139,37 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "experiment":
         config = ExperimentConfig(scale=args.scale, seed=args.seed,
                                   num_instances=args.instances, effort=args.effort)
+        jobs = args.jobs if args.jobs is not None else (1 if args.resume else None)
+        if jobs is not None and args.artifact not in ("fidelity", "auc", "runtime"):
+            print(f"note: --jobs/--resume not supported for {args.artifact}; "
+                  "running serially", file=sys.stderr)
+            jobs = None
+        sharded = (dict(jobs=jobs, resume=args.resume, timeout=args.timeout,
+                        retries=args.retries) if jobs is not None else {})
         if args.artifact == "table3":
             result = run_dataset_table(config=config)
         elif args.artifact == "fidelity":
             methods = ALL_METHODS if args.mode == "factual" else COUNTERFACTUAL_METHODS
             result = run_fidelity_experiment(args.dataset, args.model, methods,
-                                             mode=args.mode, config=config)
+                                             mode=args.mode, config=config, **sharded)
         elif args.artifact == "auc":
             result = run_auc_experiment(args.dataset, args.model, ALL_METHODS,
-                                        mode=args.mode, config=config)
+                                        mode=args.mode, config=config, **sharded)
         elif args.artifact == "runtime":
             result = run_runtime_experiment(args.dataset, args.model, ALL_METHODS,
-                                            config=config)
+                                            config=config, **sharded)
         else:
             result = run_alpha_sensitivity(args.dataset, args.model,
                                            mode=args.mode, config=config)
         for row in result["rows"]:
             print(row)
+        if result.get("failures"):
+            print(f"\n{sum(len(v) for v in result['failures'].values())} job(s) "
+                  "failed; aggregated over surviving chunks:", file=sys.stderr)
+            for method, fails in result["failures"].items():
+                for f in fails:
+                    print(f"  {f['job']}: {f['error']['type']}: "
+                          f"{f['error']['message']}", file=sys.stderr)
         if args.artifact in ("fidelity", "alpha") and result.get("curves"):
             from .viz import render_curves
 

@@ -5,9 +5,20 @@ and returns structured results plus formatted text rows. The benchmark
 harness (``benchmarks/``) wraps these and writes the outputs to
 ``benchmarks/results/``.
 
-Cost control: ``REPRO_SCALE`` scales dataset sizes, ``REPRO_INSTANCES``
-sets instances per dataset (paper: 50) and ``REPRO_EFFORT`` multiplies
-explainer epoch/sample budgets (1.0 = paper settings).
+Cost control — note the defaults are **cheap mode**, not paper scale:
+``REPRO_SCALE`` scales dataset sizes, ``REPRO_INSTANCES`` sets instances
+per dataset (**default 8**; the paper uses 50) and ``REPRO_EFFORT``
+multiplies explainer epoch/sample budgets (**default 0.2**; ``1.0``
+reproduces the paper's §V-A settings). Numbers produced at the defaults
+are smoke-scale and must not be read as paper-grade reproductions — set
+``REPRO_INSTANCES=50 REPRO_EFFORT=1`` (and ``REPRO_SCALE=1``) for those.
+
+The grid runners (fidelity / AUC / runtime) also accept ``jobs=`` and
+``resume=``: ``jobs=N`` shards the artifact into per-``(method,
+instance-chunk)`` work units executed by :mod:`repro.runner` (``N=1``
+inline, ``N>1`` across a crash-isolated worker pool), and ``resume=``
+names a JSONL journal that checkpoints every job so an interrupted run
+picks up where it left off.
 """
 
 from __future__ import annotations
@@ -191,14 +202,34 @@ def run_explainer(method: str, model: GNN, instances: list[Instance],
 # ----------------------------------------------------------------------
 # artifact runners
 # ----------------------------------------------------------------------
+def _runner_kwargs(jobs, resume, chunk_size, timeout, retries) -> dict:
+    return {"workers": jobs, "resume": resume, "chunks": chunk_size,
+            "timeout": timeout, "retries": retries}
+
+
 def run_fidelity_experiment(dataset_name: str, conv: str, methods: tuple[str, ...],
                             mode: str = "factual",
-                            config: ExperimentConfig | None = None) -> dict:
+                            config: ExperimentConfig | None = None,
+                            jobs: int | None = None,
+                            resume: str | None = None,
+                            chunk_size: int | None = None,
+                            timeout: float | None = None,
+                            retries: int = 1) -> dict:
     """Fig. 3 (factual, Fidelity−) / Fig. 4 (counterfactual, Fidelity+).
 
     Returns ``{"curves": {method: {sparsity: fidelity}}, "rows": [str]}``.
+    With ``jobs=`` the artifact runs through the sharded runner (see
+    module docstring); for a fixed config the aggregated rows are
+    byte-identical for any worker count and across ``resume``.
     """
     config = config or ExperimentConfig()
+    if jobs is not None:
+        from ..runner import run_planned_experiment
+
+        return run_planned_experiment("fidelity", dataset_name, conv, methods,
+                                      mode=mode, config=config,
+                                      **_runner_kwargs(jobs, resume, chunk_size,
+                                                       timeout, retries))
     model, dataset, _ = get_model(dataset_name, conv, scale=config.scale, seed=config.seed)
     instances = build_instances(dataset, config.resolved_instances(), seed=config.seed)
     fid_metric = "minus" if mode == "factual" else "plus"
@@ -224,9 +255,21 @@ def run_fidelity_experiment(dataset_name: str, conv: str, methods: tuple[str, ..
 
 def run_auc_experiment(dataset_name: str, conv: str, methods: tuple[str, ...],
                        mode: str = "factual",
-                       config: ExperimentConfig | None = None) -> dict:
+                       config: ExperimentConfig | None = None,
+                       jobs: int | None = None,
+                       resume: str | None = None,
+                       chunk_size: int | None = None,
+                       timeout: float | None = None,
+                       retries: int = 1) -> dict:
     """Table IV: explanation AUC against planted motifs (synthetics only)."""
     config = config or ExperimentConfig()
+    if jobs is not None:
+        from ..runner import run_planned_experiment
+
+        return run_planned_experiment("auc", dataset_name, conv, methods,
+                                      mode=mode, config=config,
+                                      **_runner_kwargs(jobs, resume, chunk_size,
+                                                       timeout, retries))
     model, dataset, _ = get_model(dataset_name, conv, scale=config.scale, seed=config.seed)
     instances = build_instances(dataset, config.resolved_instances(), seed=config.seed,
                                 motif_only=True, correct_only=True, model=model)
@@ -248,9 +291,21 @@ def run_auc_experiment(dataset_name: str, conv: str, methods: tuple[str, ...],
 
 
 def run_runtime_experiment(dataset_name: str, conv: str, methods: tuple[str, ...],
-                           config: ExperimentConfig | None = None) -> dict:
+                           config: ExperimentConfig | None = None,
+                           jobs: int | None = None,
+                           resume: str | None = None,
+                           chunk_size: int | None = None,
+                           timeout: float | None = None,
+                           retries: int = 1) -> dict:
     """Table V: mean running time per instance for each method."""
     config = config or ExperimentConfig()
+    if jobs is not None:
+        from ..runner import run_planned_experiment
+
+        return run_planned_experiment("runtime", dataset_name, conv, methods,
+                                      config=config,
+                                      **_runner_kwargs(jobs, resume, chunk_size,
+                                                       timeout, retries))
     model, dataset, _ = get_model(dataset_name, conv, scale=config.scale, seed=config.seed)
     instances = build_instances(dataset, config.resolved_instances(), seed=config.seed)
 

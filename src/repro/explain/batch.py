@@ -7,11 +7,11 @@ ergonomics layer a downstream user reaches for first.
 
 from __future__ import annotations
 
+import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
 
-from ..errors import ReproError
 from .base import Explainer, Explanation
 from .io import save_explanation
 
@@ -21,9 +21,18 @@ if TYPE_CHECKING:  # avoid a circular import; Instance is duck-typed below
 __all__ = ["BatchResult", "explain_instances"]
 
 
+#: Characters of formatted traceback kept per captured failure.
+TRACEBACK_LIMIT = 1500
+
+
 @dataclass
 class BatchResult:
-    """Outcome of a batch-explanation run."""
+    """Outcome of a batch-explanation run.
+
+    Each failure is ``(instance_index, "ExcType: message\\n<truncated
+    traceback>")`` — enough to triage a crashed instance without re-running
+    the batch.
+    """
 
     explanations: list[Explanation]
     failures: list[tuple[int, str]] = field(default_factory=list)
@@ -71,10 +80,12 @@ def explain_instances(explainer: Explainer, instances: "Sequence[Instance]",
     for i, inst in enumerate(instances):
         try:
             explanation = explainer.explain(inst.graph, target=inst.target, mode=mode)
-        except ReproError as exc:
+        except Exception as exc:  # stray numpy ValueError/FloatingPointError
+            # must not kill the batch any more than a ReproError would
             if raise_on_error:
                 raise
-            failures.append((i, f"{type(exc).__name__}: {exc}"))
+            tb = traceback.format_exc()[-TRACEBACK_LIMIT:]
+            failures.append((i, f"{type(exc).__name__}: {exc}\n{tb}"))
             continue
         explanations.append(explanation)
         if save_dir is not None:

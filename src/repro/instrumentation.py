@@ -89,6 +89,22 @@ class PerfCounters:
         out["stage_seconds"] = stages
         return out
 
+    def merge(self, delta: dict) -> None:
+        """Add a :meth:`delta` dict into these counters.
+
+        The worker-pool protocol: each worker ships the delta of its own
+        process-global counters with every job result and the parent
+        merges it, so forwards/enumerations/cache hits and stage timings
+        stay truthful under multiprocess runs. Also useful standalone for
+        combining measurements from any out-of-process work.
+        """
+        for name in self.__slots__:
+            if name == "stage_seconds":
+                continue
+            setattr(self, name, getattr(self, name) + int(delta.get(name, 0)))
+        for stage, seconds in delta.get("stage_seconds", {}).items():
+            self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
     @contextmanager
     def stage(self, name: str):
         """Accumulate the wall-clock of the enclosed block under ``name``."""

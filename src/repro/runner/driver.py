@@ -1,0 +1,80 @@
+"""High-level entry: plan → (pool | inline) → aggregate, with resume.
+
+:func:`run_planned_experiment` is what :mod:`repro.eval.experiments`
+delegates to when a runner is called with ``jobs=``: it warms the
+dataset/model context once in the parent (so forked workers inherit it
+and concurrent workers never race to train the same checkpoint), plans
+the job grid, executes it fault-tolerantly and folds the records back
+into the serial runner's exact return structure.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..errors import EvaluationError
+from .aggregate import aggregate_experiment
+from .execute import experiment_context
+from .plan import ExperimentPlan, plan_experiment
+from .pool import run_jobs
+
+__all__ = ["run_planned_experiment", "plan_artifact"]
+
+
+def plan_artifact(artifact: str, dataset_name: str, conv: str,
+                  methods: tuple[str, ...], mode: str = "factual",
+                  config=None, chunks: int | None = None) -> ExperimentPlan:
+    """Warm the experiment context and plan the job grid.
+
+    Materializing the instance list here (in the parent) pins the
+    effective instance count — for AUC artifacts ``correct_only``
+    filtering can return fewer instances than requested — and leaves a
+    trained model in the zoo cache for workers to load.
+    """
+    from ..eval.experiments import ExperimentConfig
+
+    config = config or ExperimentConfig()
+    scale = config.scale
+    if scale is None:
+        from ..datasets import default_scale
+        scale = default_scale()
+    probe = {"dataset": dataset_name, "conv": conv, "scale": scale,
+             "config_seed": config.seed,
+             "num_instances": config.resolved_instances(),
+             "motif_only": artifact == "auc", "correct_only": artifact == "auc"}
+    _, _, instances = experiment_context(probe)
+    if not instances:
+        raise EvaluationError(
+            f"{dataset_name}/{conv}: no instances available for {artifact}")
+    return plan_experiment(artifact, dataset_name, conv, methods, mode=mode,
+                           config=config, num_instances=len(instances),
+                           chunks=chunks)
+
+
+def run_planned_experiment(artifact: str, dataset_name: str, conv: str,
+                           methods: tuple[str, ...], mode: str = "factual",
+                           config=None, workers: int = 1,
+                           resume: str | Path | None = None,
+                           chunks: int | None = None,
+                           timeout: float | None = None, retries: int = 1,
+                           on_record=None) -> dict:
+    """Run one artifact through the sharded runner.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` executes inline (deterministic, debuggable); ``N > 1`` uses
+        the crash-isolated worker pool.
+    resume:
+        Journal path. Every job outcome is checkpointed there; if the
+        file already holds successful records for some jobs (a previous
+        run, killed or partial), only the remaining/failed jobs execute.
+    timeout, retries:
+        Per-job limits, see :func:`repro.runner.pool.run_jobs`.
+    """
+    plan = plan_artifact(artifact, dataset_name, conv, methods, mode=mode,
+                         config=config, chunks=chunks)
+    records = run_jobs(plan.jobs, workers=workers, timeout=timeout,
+                       retries=retries, journal_path=resume,
+                       resume=resume is not None, on_record=on_record)
+    return aggregate_experiment(plan, records)

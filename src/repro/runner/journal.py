@@ -1,0 +1,76 @@
+"""Append-only JSONL checkpoint of job outcomes.
+
+Every completed (or terminally failed) job is streamed to the journal as
+one JSON line, flushed and fsynced, so a run killed at any point loses at
+most the in-flight jobs. :func:`load_journal` tolerates a truncated final
+line — exactly what a mid-write kill leaves behind — and keeps the *last*
+record per job id, so re-run outcomes supersede earlier failures.
+
+Python's ``json`` round-trips floats exactly (shortest-repr encoding), so
+aggregating from journaled records is bit-identical to aggregating from
+in-memory ones — the property the resume tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["Journal", "load_journal"]
+
+
+class Journal:
+    """Append-only writer; one JSON object per line, durable per append."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        # A journal killed mid-write ends in a torn line without a newline;
+        # start on a fresh line so the first resumed record isn't glued to it.
+        if self.path.stat().st_size > 0:
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, 2)
+                if fh.read(1) != b"\n":
+                    self._fh.write("\n")
+
+    def append(self, record: dict) -> None:
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_journal(path: str | Path) -> dict[str, dict]:
+    """Records by job id (last record per id wins).
+
+    Unparseable lines — a truncated tail from a killed writer, or stray
+    garbage — are skipped rather than fatal: the corresponding job simply
+    re-runs.
+    """
+    path = Path(path)
+    records: dict[str, dict] = {}
+    if not path.exists():
+        return records
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "id" in record:
+                records[record["id"]] = record
+    return records

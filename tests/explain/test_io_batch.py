@@ -89,6 +89,38 @@ class TestBatchExplain:
         assert result.num_failed == 1
         assert "FlowError" in result.failures[0][1]
 
+    def test_non_repro_exception_captured(self, graph_model, mini_mutag):
+        """Stray numpy-level errors must not kill the batch (only the instance)."""
+
+        class BlowingUpExplainer(RandomExplainer):
+            calls = 0
+
+            def explain(self, graph, target=None, mode="factual"):
+                BlowingUpExplainer.calls += 1
+                if BlowingUpExplainer.calls == 1:
+                    raise FloatingPointError("overflow encountered in exp")
+                return super().explain(graph, target=target, mode=mode)
+
+        explainer = BlowingUpExplainer(graph_model, seed=0)
+        instances = [Instance(g) for g in mini_mutag.graphs[:3]]
+        result = explain_instances(explainer, instances)
+        assert result.num_succeeded == 2
+        assert result.num_failed == 1
+        idx, message = result.failures[0]
+        assert idx == 0
+        assert message.startswith("FloatingPointError: overflow")
+        assert "Traceback" in message  # truncated traceback recorded
+
+    def test_non_repro_exception_raise_on_error(self, graph_model, mini_mutag):
+        class BlowingUpExplainer(RandomExplainer):
+            def explain(self, graph, target=None, mode="factual"):
+                raise ValueError("bad value from numpy")
+
+        instances = [Instance(mini_mutag.graphs[0])]
+        with pytest.raises(ValueError):
+            explain_instances(BlowingUpExplainer(graph_model, seed=0), instances,
+                              raise_on_error=True)
+
     def test_raise_on_error(self, node_model, mini_ba_shapes):
         from repro.core import Revelio
         from repro.errors import FlowError

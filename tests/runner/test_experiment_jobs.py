@@ -1,0 +1,101 @@
+"""End-to-end: sharded experiments match across worker counts and resume.
+
+Pins the subsystem's central guarantee: for a fixed seed, aggregated
+fidelity rows are byte-identical whether the grid runs inline
+(``jobs=1``), across 4 workers, or across 4 workers after being killed
+mid-run and finished with ``--resume``.
+"""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.eval import ExperimentConfig
+from repro.eval.experiments import (
+    run_auc_experiment,
+    run_fidelity_experiment,
+    run_runtime_experiment,
+)
+from repro.runner import load_journal
+
+HAS_FORK = "fork" in mp.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAS_FORK, reason="requires fork start method")
+
+CFG = ExperimentConfig(scale=0.12, num_instances=4, effort=0.05,
+                       sparsities=(0.5, 0.8), seed=0)
+METHODS = ("gradcam", "revelio")
+
+
+def _fidelity(jobs, resume):
+    return run_fidelity_experiment("tree_cycles", "gcn", METHODS,
+                                   config=CFG, jobs=jobs, resume=resume)
+
+
+@needs_fork
+class TestWorkerCountInvariance:
+    def test_rows_byte_identical_and_resume_after_kill(self, tmp_path):
+        inline = _fidelity(1, str(tmp_path / "inline.jsonl"))
+        parallel = _fidelity(4, str(tmp_path / "par.jsonl"))
+        assert inline["rows"] == parallel["rows"]
+        assert inline["curves"] == parallel["curves"]
+        assert parallel["jobs"]["failed"] == 0
+
+        # simulate a mid-run kill: keep the first 3 journaled jobs plus a
+        # torn partial line (what fsync-per-line leaves behind), then resume
+        lines = (tmp_path / "par.jsonl").read_text().splitlines()
+        assert len(lines) == 8  # 2 methods x 4 chunks
+        killed = tmp_path / "killed.jsonl"
+        killed.write_text("\n".join(lines[:3]) + "\n" + lines[3][:20])
+        resumed = _fidelity(4, str(killed))
+        assert resumed["rows"] == inline["rows"]
+        assert resumed["curves"] == inline["curves"]
+
+        # the resumed run only re-ran the missing jobs: journal now holds
+        # 3 original + 5 fresh records, one per job id
+        journal = load_journal(killed)
+        assert len(journal) == 8
+        assert all(r["status"] == "ok" for r in journal.values())
+
+
+class TestInlineJobsPath:
+    def test_fidelity_repeatable_without_journal(self):
+        a = _fidelity(1, None)
+        b = _fidelity(1, None)
+        assert a["rows"] == b["rows"]
+        assert a["curves"] == b["curves"]
+        assert set(a["curves"]) == set(METHODS)
+        assert list(a["curves"]["revelio"]) == [0.5, 0.8]
+
+    def test_auc_jobs_path(self):
+        cfg = ExperimentConfig(scale=0.12, num_instances=3, effort=0.05, seed=0)
+        out = run_auc_experiment("tree_cycles", "gcn", METHODS, config=cfg, jobs=1)
+        for value in out["auc"].values():
+            assert 0.0 <= value <= 1.0
+        assert out["jobs"]["failed"] == 0
+
+    def test_runtime_jobs_path(self):
+        cfg = ExperimentConfig(scale=0.12, num_instances=2, effort=0.05, seed=0)
+        out = run_runtime_experiment("tree_cycles", "gcn",
+                                     ("gradcam", "gnnexplainer"),
+                                     config=cfg, jobs=1)
+        assert out["mean_seconds"]["gradcam"] < out["mean_seconds"]["gnnexplainer"]
+
+    def test_failed_chunks_do_not_abort_artifact(self, monkeypatch):
+        # sabotage one method's executor path: revelio chunks raise, the
+        # artifact still completes with gradcam aggregated and failures listed
+        import repro.runner.execute as execute_mod
+
+        original = execute_mod.EXECUTORS["fidelity_chunk"]
+
+        def sabotaged(payload, seed):
+            if payload["method"] == "revelio":
+                raise FloatingPointError("injected numerical blowup")
+            return original(payload, seed)
+
+        monkeypatch.setitem(execute_mod.EXECUTORS, "fidelity_chunk", sabotaged)
+        out = _fidelity(1, None)
+        assert "gradcam" in out["curves"]
+        assert "revelio" not in out["curves"]
+        errors = {f["error"]["type"] for f in out["failures"]["revelio"]}
+        assert errors == {"FloatingPointError"}
+        assert out["jobs"]["failed"] == 4

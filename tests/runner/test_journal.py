@@ -1,0 +1,70 @@
+"""JSONL journal: append/load, last-wins, torn-write tolerance."""
+
+import json
+
+from repro.runner import Journal, load_journal
+
+
+class TestJournal:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as j:
+            j.append({"id": "a", "status": "ok", "result": {"x": 1.5}})
+            j.append({"id": "b", "status": "failed",
+                      "error": {"type": "ValueError", "message": "boom"}})
+        records = load_journal(path)
+        assert records["a"]["result"] == {"x": 1.5}
+        assert records["b"]["error"]["type"] == "ValueError"
+
+    def test_last_record_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as j:
+            j.append({"id": "a", "status": "failed", "attempt": 1})
+            j.append({"id": "a", "status": "ok", "attempt": 2})
+        assert load_journal(path)["a"]["status"] == "ok"
+
+    def test_truncated_tail_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as j:
+            j.append({"id": "a", "status": "ok"})
+        with open(path, "a") as fh:
+            fh.write('{"id": "b", "status": "o')  # torn mid-write
+        records = load_journal(path)
+        assert set(records) == {"a"}
+
+    def test_missing_file_empty(self, tmp_path):
+        assert load_journal(tmp_path / "nope.jsonl") == {}
+
+    def test_append_mode_preserves_history(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as j:
+            j.append({"id": "a", "status": "ok"})
+        with Journal(path) as j:
+            j.append({"id": "b", "status": "ok"})
+        assert set(load_journal(path)) == {"a", "b"}
+
+    def test_floats_roundtrip_exactly(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        value = 0.1 + 0.2  # not exactly representable in decimal
+        with Journal(path) as j:
+            j.append({"id": "a", "status": "ok", "result": {"v": value}})
+        assert load_journal(path)["a"]["result"]["v"] == value
+
+    def test_append_after_torn_tail_starts_fresh_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as j:
+            j.append({"id": "a", "status": "ok"})
+            j.append({"id": "b", "status": "ok"})
+        torn = path.read_text().splitlines()
+        path.write_text(torn[0] + "\n" + torn[1][:10])  # kill mid-write of "b"
+        with Journal(path) as j:
+            j.append({"id": "c", "status": "ok"})
+        records = load_journal(path)
+        assert set(records) == {"a", "c"}  # "c" not glued onto the torn "b"
+
+    def test_garbage_line_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('not json at all\n'
+                        + json.dumps({"id": "a", "status": "ok"}) + "\n"
+                        + json.dumps(["a", "list"]) + "\n")
+        assert set(load_journal(path)) == {"a"}

@@ -1,0 +1,66 @@
+"""PERF snapshot/merge: worker counters fold truthfully into the parent."""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.instrumentation import PerfCounters, PERF
+
+
+class TestMerge:
+    def test_merge_adds_counters_and_stages(self):
+        parent = PerfCounters()
+        parent.single_forwards = 5
+        parent.stage_seconds["fit"] = 1.0
+
+        worker = PerfCounters()
+        worker.single_forwards = 3
+        worker.batched_rows = 11
+        worker.stage_seconds["fit"] = 0.5
+        worker.stage_seconds["explain"] = 0.25
+
+        parent.merge(worker.snapshot())
+        assert parent.single_forwards == 8
+        assert parent.batched_rows == 11
+        assert parent.stage_seconds == {"fit": 1.5, "explain": 0.25}
+
+    def test_merge_of_delta_roundtrip(self):
+        # snapshot → work → delta → merge elsewhere == doing the work there
+        a = PerfCounters()
+        before = a.snapshot()
+        a.single_forwards += 4
+        with a.stage("x"):
+            pass
+        delta = PerfCounters.delta(before, a.snapshot())
+
+        b = PerfCounters()
+        b.single_forwards = 100
+        b.merge(delta)
+        assert b.single_forwards == 104
+        assert "x" in b.stage_seconds
+
+    def test_merge_empty_delta_noop(self):
+        c = PerfCounters()
+        c.single_forwards = 2
+        c.merge({})
+        assert c.single_forwards == 2
+        assert c.stage_seconds == {}
+
+
+@pytest.mark.skipif("fork" not in mp.get_all_start_methods(),
+                    reason="requires fork start method")
+class TestPoolMergesWorkerCounters:
+    def test_worker_forwards_counted_in_parent(self):
+        from repro.runner import JobSpec, register_executor, run_jobs
+
+        def do_forwards(payload, seed):
+            PERF.single_forwards += payload["count"]
+            return {}
+
+        register_executor("perf_bump", do_forwards)
+        before = PERF.snapshot()
+        jobs = [JobSpec(id=f"p{i}", kind="perf_bump", payload={"count": 10})
+                for i in range(3)]
+        run_jobs(jobs, workers=2)
+        after = PERF.snapshot()
+        assert after["single_forwards"] - before["single_forwards"] == 30

@@ -32,6 +32,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "-d", "imagenet"])
 
+    def test_experiment_runner_flags(self):
+        args = build_parser().parse_args(
+            ["experiment", "fidelity", "--jobs", "4",
+             "--resume", "runs/fid.jsonl", "--timeout", "30", "--retries", "2"])
+        assert args.jobs == 4
+        assert args.resume == "runs/fid.jsonl"
+        assert args.timeout == 30.0
+        assert args.retries == 2
+
+    def test_experiment_runner_flag_defaults(self):
+        args = build_parser().parse_args(["experiment", "fidelity"])
+        assert args.jobs is None and args.resume is None
+        assert args.retries == 1
+
 
 class TestCommands:
     def test_datasets_lists_all(self, capsys):
@@ -65,3 +79,44 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "revelio" in out
         assert "s=0.5" in out
+
+    def test_experiment_sharded_forwards_runner_kwargs(self, capsys, monkeypatch,
+                                                       tmp_path):
+        seen = {}
+
+        def fake_runner(dataset, model, methods, mode="factual", config=None,
+                        **kwargs):
+            seen.update(kwargs, dataset=dataset)
+            return {"rows": ["header", "row"], "curves": {}, "failures": {}}
+
+        monkeypatch.setattr("repro.cli.run_fidelity_experiment", fake_runner)
+        journal = str(tmp_path / "fid.jsonl")
+        code = main(["experiment", "fidelity", "-d", "tree_cycles", "-m", "gcn",
+                     "--jobs", "4", "--resume", journal, "--timeout", "9"])
+        assert code == 0
+        assert seen["jobs"] == 4
+        assert seen["resume"] == journal
+        assert seen["timeout"] == 9.0
+        assert seen["retries"] == 1
+
+    def test_resume_alone_implies_inline_jobs(self, monkeypatch, tmp_path):
+        seen = {}
+
+        def fake_runner(dataset, model, methods, mode="factual", config=None,
+                        **kwargs):
+            seen.update(kwargs)
+            return {"rows": [], "curves": {}, "failures": {}}
+
+        monkeypatch.setattr("repro.cli.run_fidelity_experiment", fake_runner)
+        journal = str(tmp_path / "fid.jsonl")
+        assert main(["experiment", "fidelity", "-d", "tree_cycles", "-m", "gcn",
+                     "--resume", journal]) == 0
+        assert seen["jobs"] == 1
+        assert seen["resume"] == journal
+
+    def test_jobs_rejected_for_unsupported_artifact(self, capsys, monkeypatch):
+        monkeypatch.setattr("repro.cli.run_alpha_sensitivity",
+                            lambda *a, **k: {"rows": [], "curves": {}})
+        assert main(["experiment", "alpha", "-d", "tree_cycles", "-m", "gcn",
+                     "--jobs", "4"]) == 0
+        assert "not supported" in capsys.readouterr().err
