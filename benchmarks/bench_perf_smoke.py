@@ -33,6 +33,9 @@ RESULT_PATH = REPO_ROOT / "BENCH_perf.json"
 SPEEDUP_FLOOR = 3.0
 MIN_WINS = 2
 EQ_TOL = 1e-8
+# With tracing disabled (the default NullSink state) the span() calls left
+# in the hot paths must cost less than this fraction of workload wall time.
+OBS_OVERHEAD_CEILING = 0.05
 # Each timing is the best of REPEATS passes — shields the speedup ratios
 # from scheduler/noisy-neighbor spikes without inflating them.
 REPEATS = 3
@@ -79,6 +82,46 @@ def _timed(fn, setup=None):
         if rep == 0:
             out = result
     return out, best
+
+
+def _measure_obs_overhead(model, graph, target) -> dict:
+    """Cost of the disabled tracing instrumentation on a hot workload.
+
+    The instrumented sites call :func:`repro.obs.span` even when tracing is
+    off; that call returns a shared no-op context manager. A traced pass
+    (MemorySink) counts how many spans one Revelio explain emits; a
+    microbenchmark prices one disabled ``span()`` round trip; their product
+    bounds the overhead the instrumentation adds to the untraced workload.
+    """
+    from repro.core.revelio import Revelio
+    from repro.obs import MemorySink, span, tracing
+
+    revelio = Revelio(model, epochs=30, seed=0)
+    sink = MemorySink()
+    _clear_caches()
+    with tracing(sink=sink):
+        revelio.explain(graph, target)
+    span_count = len(sink.records)
+
+    _, workload_s = _timed(lambda: revelio.explain(graph, target),
+                           setup=_clear_caches)
+
+    calls = 100_000
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        with span("overhead_probe"):
+            pass
+    per_call_s = (time.perf_counter() - t0) / calls
+
+    overhead_s = span_count * per_call_s
+    return {
+        "spans_per_explain": span_count,
+        "disabled_span_ns": round(per_call_s * 1e9, 1),
+        "workload_seconds": round(workload_s, 4),
+        "overhead_seconds": round(overhead_s, 6),
+        "overhead_fraction": round(overhead_s / max(workload_s, 1e-9), 6),
+        "ceiling": OBS_OVERHEAD_CEILING,
+    }
 
 
 def run_benchmark() -> dict:
@@ -150,6 +193,8 @@ def run_benchmark() -> dict:
         "speedup": round(dt_cold / max(dt_warm, 1e-9), 2),
     }
 
+    results["obs_overhead"] = _measure_obs_overhead(model, graph, targets[0])
+
     counters = PerfCounters.delta(perf_before, PERF.snapshot())
     wins = [n for n in ("flowx", "gnn_lrp", "fidelity_curve")
             if results[n]["speedup"] >= SPEEDUP_FLOOR]
@@ -173,15 +218,23 @@ def test_perf_smoke():
         f"(need {MIN_WINS} of flowx/gnn_lrp/fidelity_curve): "
         f"{ {k: v.get('speedup') for k, v in payload['workloads'].items()} }"
     )
+    obs = payload["workloads"]["obs_overhead"]
+    assert obs["overhead_fraction"] < OBS_OVERHEAD_CEILING, (
+        f"disabled tracing costs {obs['overhead_fraction']:.2%} of the "
+        f"workload (ceiling {OBS_OVERHEAD_CEILING:.0%}): {obs}"
+    )
 
 
 def main() -> int:
     payload = run_benchmark()
     print(json.dumps(payload, indent=2))
     wins = payload["workloads_meeting_floor"]
-    ok = len(wins) >= MIN_WINS
+    obs = payload["workloads"]["obs_overhead"]
+    ok = len(wins) >= MIN_WINS and \
+        obs["overhead_fraction"] < OBS_OVERHEAD_CEILING
     print(f"\n{'PASS' if ok else 'FAIL'}: {len(wins)} workloads >= "
-          f"{SPEEDUP_FLOOR}x ({', '.join(wins) or 'none'})")
+          f"{SPEEDUP_FLOOR}x ({', '.join(wins) or 'none'}); disabled tracing "
+          f"overhead {obs['overhead_fraction']:.3%}")
     return 0 if ok else 1
 
 

@@ -17,7 +17,7 @@ import numpy as np
 from ..errors import EvaluationError
 from ..explain.base import Explanation
 from ..graph import Graph
-from ..rng import ensure_rng, spawn_rngs
+from ..rng import spawn_rngs
 from .agreement import edge_rank_correlation, top_edge_overlap
 
 __all__ = ["StabilityReport", "seed_stability", "perturbation_stability"]

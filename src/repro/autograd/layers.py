@@ -12,7 +12,7 @@ import numpy as np
 from ..rng import ensure_rng
 from .init import glorot_uniform, zeros
 from .module import Module, Parameter
-from .tensor import Tensor, concat
+from .tensor import Tensor
 
 __all__ = ["Linear", "ReLU", "Tanh", "Sigmoid", "Sequential", "MLP", "LayerNorm"]
 

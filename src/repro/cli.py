@@ -10,6 +10,10 @@ Commands
                                         regenerate one artifact's rows
 ``repro experiment fidelity -d mutag -m gin --jobs 4 --resume runs/fid.jsonl``
                                         sharded + checkpointed variant
+``repro experiment fidelity -d mutag -m gin --jobs 4 --trace runs/fid_trace.jsonl``
+                                        traced run (merged trace + manifest)
+``repro trace summarize runs/fid_trace.jsonl``
+                                        per-method, per-stage time breakdown
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from .datasets import DATASET_NAMES, dataset_task, load_dataset
 from .eval.experiments import (
     ALL_METHODS,
     COUNTERFACTUAL_METHODS,
+    ExecutionConfig,
     ExperimentConfig,
     run_alpha_sensitivity,
     run_auc_experiment,
@@ -76,6 +81,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-job timeout (enforced with --jobs >= 2)")
     p_exp.add_argument("--retries", type=int, default=1,
                        help="extra attempts per failed job (default 1)")
+    p_exp.add_argument("--trace", nargs="?", const=True, default=None,
+                       metavar="PATH",
+                       help="record a span trace of the run; writes a trace "
+                            "JSONL plus a RunManifest (PATH optional: default "
+                            "is next to --resume or in the working directory)")
+
+    p_trace = sub.add_parser("trace", help="inspect recorded span traces")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_summ = trace_sub.add_parser(
+        "summarize", help="per-method, per-stage time breakdown of a trace")
+    p_summ.add_argument("path", help="trace JSONL written by a --trace run")
 
     p_report = sub.add_parser("report", help="aggregate benchmark artifacts into markdown")
     p_report.add_argument("--results", default="benchmarks/results",
@@ -136,33 +152,48 @@ def main(argv: list[str] | None = None) -> int:
             print(format_top_flows(explanation, k=args.top_flows))
         return 0
 
+    if args.command == "trace":
+        from .obs import summarize_trace
+
+        for row in summarize_trace(args.path):
+            print(row)
+        return 0
+
     if args.command == "experiment":
         config = ExperimentConfig(scale=args.scale, seed=args.seed,
                                   num_instances=args.instances, effort=args.effort)
         jobs = args.jobs if args.jobs is not None else (1 if args.resume else None)
-        if jobs is not None and args.artifact not in ("fidelity", "auc", "runtime"):
-            print(f"note: --jobs/--resume not supported for {args.artifact}; "
-                  "running serially", file=sys.stderr)
+        if (jobs is not None or args.trace) and \
+                args.artifact not in ("fidelity", "auc", "runtime"):
+            print(f"note: --jobs/--resume/--trace not supported for "
+                  f"{args.artifact}; running serially", file=sys.stderr)
             jobs = None
-        sharded = (dict(jobs=jobs, resume=args.resume, timeout=args.timeout,
-                        retries=args.retries) if jobs is not None else {})
+            args.trace = None
+        execution = ExecutionConfig(jobs=jobs, resume=args.resume,
+                                    timeout=args.timeout, retries=args.retries,
+                                    trace=args.trace)
         if args.artifact == "table3":
             result = run_dataset_table(config=config)
         elif args.artifact == "fidelity":
             methods = ALL_METHODS if args.mode == "factual" else COUNTERFACTUAL_METHODS
             result = run_fidelity_experiment(args.dataset, args.model, methods,
-                                             mode=args.mode, config=config, **sharded)
+                                             mode=args.mode, config=config,
+                                             execution=execution)
         elif args.artifact == "auc":
             result = run_auc_experiment(args.dataset, args.model, ALL_METHODS,
-                                        mode=args.mode, config=config, **sharded)
+                                        mode=args.mode, config=config,
+                                        execution=execution)
         elif args.artifact == "runtime":
             result = run_runtime_experiment(args.dataset, args.model, ALL_METHODS,
-                                            config=config, **sharded)
+                                            config=config, execution=execution)
         else:
             result = run_alpha_sensitivity(args.dataset, args.model,
                                            mode=args.mode, config=config)
         for row in result["rows"]:
             print(row)
+        if result.get("trace_path"):
+            print(f"\ntrace: {result['trace_path']}\n"
+                  f"manifest: {result['manifest_path']}", file=sys.stderr)
         if result.get("failures"):
             print(f"\n{sum(len(v) for v in result['failures'].values())} job(s) "
                   "failed; aggregated over surviving chunks:", file=sys.stderr)

@@ -36,10 +36,11 @@ import numpy as np
 
 from ..autograd import Adam, Tensor, log_softmax
 from ..errors import ExplainerError
-from ..explain.base import Explainer, Explanation, NodeContext
+from ..explain.base import Explainer, Explanation
 from ..flows import FlowIndex, cached_enumerate_flows
 from ..graph import Graph
 from ..nn.models import GNN
+from ..obs import span
 from ..rng import ensure_rng
 
 __all__ = ["Revelio", "MASK_ACTIVATIONS", "LAYER_WEIGHT_ACTIVATIONS"]
@@ -165,27 +166,30 @@ class Revelio(Explainer):
 
         row = target if target is not None else 0
         losses = []
-        for _ in range(self.epochs):
-            optimizer.zero_grad()
-            omega_e = self._layer_edge_scores(masks, w, flow_index)
-            layer_masks = [omega_e[l] for l in range(flow_index.num_layers)]
-            logits = self.model.forward_graph(graph, edge_masks=layer_masks)
-            log_probs = log_softmax(logits, axis=-1)
-            log_p = log_probs[row, class_idx]
+        with span("optimize", epochs=self.epochs,
+                  num_flows=flow_index.num_flows):
+            for _ in range(self.epochs):
+                with span("epoch"):
+                    optimizer.zero_grad()
+                    omega_e = self._layer_edge_scores(masks, w, flow_index)
+                    layer_masks = [omega_e[l] for l in range(flow_index.num_layers)]
+                    logits = self.model.forward_graph(graph, edge_masks=layer_masks)
+                    log_probs = log_softmax(logits, axis=-1)
+                    log_p = log_probs[row, class_idx]
 
-            if mode == "factual":
-                objective = -log_p                                    # Eq. (1)
-                regularizer = (omega_e * used_tensor).sum() / num_used  # Eq. (8)
-            else:
-                # Eq. (2): BCE against target 0 for the explained class.
-                p = log_p.exp()
-                objective = -(1.0 - p.clip(0.0, 1.0 - 1e-12)).log()
-                regularizer = ((1.0 - omega_e) * used_tensor).sum() / num_used  # Eq. (9)
+                    if mode == "factual":
+                        objective = -log_p                                    # Eq. (1)
+                        regularizer = (omega_e * used_tensor).sum() / num_used  # Eq. (8)
+                    else:
+                        # Eq. (2): BCE against target 0 for the explained class.
+                        p = log_p.exp()
+                        objective = -(1.0 - p.clip(0.0, 1.0 - 1e-12)).log()
+                        regularizer = ((1.0 - omega_e) * used_tensor).sum() / num_used  # Eq. (9)
 
-            loss = objective + self.alpha * regularizer
-            loss.backward()
-            optimizer.step()
-            losses.append(loss.item())
+                    loss = objective + self.alpha * regularizer
+                    loss.backward()
+                    optimizer.step()
+                    losses.append(loss.item())
 
         # Final scores (no gradient needed).
         omega_f = self._flow_scores(masks).numpy().copy()
@@ -207,8 +211,8 @@ class Revelio(Explainer):
             flow_index=flow_index,
             meta={
                 "final_loss": losses[-1],
-                "epochs": self.epochs,
-                "alpha": self.alpha,
+                "params": {"epochs": self.epochs, "lr": self.lr,
+                           "alpha": self.alpha},
                 "layer_weights": w.numpy().copy(),
                 "num_flows": flow_index.num_flows,
             },

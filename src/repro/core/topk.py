@@ -15,10 +15,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autograd import Adam, Tensor, concat, log_softmax
+from ..autograd import Adam, Tensor, log_softmax
 from ..errors import ExplainerError
 from ..explain.base import Explanation
-from ..flows import FlowIndex, enumerate_flows
+from ..flows import FlowIndex
 from ..graph import Graph
 from ..nn.models import GNN
 from ..rng import ensure_rng
@@ -121,10 +121,9 @@ class TopKRevelio(Revelio):
             flow_index=flow_index,
             meta={
                 "final_loss": losses[-1],
-                "epochs": self.epochs,
-                "alpha": self.alpha,
-                "k": int(selected.size),
-                "strategy": self.strategy,
+                "params": {"epochs": self.epochs, "alpha": self.alpha,
+                           "k": int(selected.size),
+                           "strategy": self.strategy},
                 "num_flows": flow_index.num_flows,
                 "selected_flows": selected,
                 "layer_weights": w.numpy().copy(),

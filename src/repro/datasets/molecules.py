@@ -92,7 +92,6 @@ def molecule_surrogate(name: str, num_graphs: int, avg_nodes: int, num_types: in
                 n_id, o1, o2 = n_base, n_base + 1, n_base + 2
                 types = np.concatenate([types, [1, 2, 2]])
                 motif_pairs = [(anchor, n_id), (n_id, o1), (n_id, o2)]
-                n_total = n_base + 3
             else:
                 # 6-carbon ring with a halogen substituent.
                 ring = list(range(n_base, n_base + 6))
@@ -100,9 +99,6 @@ def molecule_surrogate(name: str, num_graphs: int, avg_nodes: int, num_types: in
                 types = np.concatenate([types, [0] * 6, [3]])
                 motif_pairs = [(ring[k], ring[(k + 1) % 6]) for k in range(6)]
                 motif_pairs += [(anchor, ring[0]), (ring[3], hal)]
-                n_total = n_base + 7
-        else:
-            n_total = n_base
         pairs += motif_pairs
 
         edge_index = _both_directions(pairs)

@@ -26,14 +26,19 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from ..datasets import GraphDataset, NodeDataset, dataset_task, load_dataset
+from ..datasets import GraphDataset, NodeDataset, load_dataset
 from ..errors import EvaluationError
+from ..execution import (
+    ExecutionConfig,
+    accept_legacy_positionals,
+    coerce_execution,
+    resolve_trace_path,
+)
 from ..explain import make_explainer
-from ..explain.base import Explainer, Explanation
+from ..explain.base import Explainer
 from ..nn.models import GNN
 from ..nn.zoo import get_model
+from ..obs import span
 from ..rng import ensure_rng
 from .auc import mean_explanation_auc
 from .fidelity import Instance, fidelity_curve
@@ -41,6 +46,7 @@ from .timing import TimingResult, time_explainer
 
 __all__ = [
     "ExperimentConfig",
+    "ExecutionConfig",
     "method_config",
     "build_instances",
     "run_explainer",
@@ -189,7 +195,9 @@ def run_explainer(method: str, model: GNN, instances: list[Instance],
     effort = effort if effort is not None else _effort()
     explainer = make_explainer(method, model, seed=seed,
                                **method_config(method, effort, alpha=alpha))
-    _fit_if_group_method(explainer, instances, mode)
+    if hasattr(explainer, "fit"):
+        with span("fit", method=method):
+            _fit_if_group_method(explainer, instances, mode)
     # Methods without a counterfactual objective reuse factual scores
     # ("we use the original explanations provided by …", §V-B).
     run_mode = mode if explainer.supports_counterfactual else "factual"
@@ -202,74 +210,110 @@ def run_explainer(method: str, model: GNN, instances: list[Instance],
 # ----------------------------------------------------------------------
 # artifact runners
 # ----------------------------------------------------------------------
-def _runner_kwargs(jobs, resume, chunk_size, timeout, retries) -> dict:
-    return {"workers": jobs, "resume": resume, "chunks": chunk_size,
-            "timeout": timeout, "retries": retries}
+def _run_serial(artifact: str, dataset_name: str, conv: str,
+                methods: tuple[str, ...], mode: str, config: ExperimentConfig,
+                execution: ExecutionConfig, dataset, body) -> dict:
+    """Run ``body()`` for a serial artifact, tracing it when requested."""
+    trace_target = resolve_trace_path(
+        execution.trace, execution.resume,
+        f"trace_{artifact}_{dataset_name}_{conv}.jsonl")
+    if trace_target is None:
+        return body()
+    from ..obs import TraceSession, dataset_fingerprint
+
+    session = TraceSession(
+        trace_target,
+        run_meta={"artifact": artifact, "dataset": dataset_name, "conv": conv,
+                  "methods": list(methods), "mode": mode, "seed": config.seed,
+                  "num_instances": config.resolved_instances(),
+                  "effort": config.resolved_effort(), "alpha": config.alpha,
+                  "jobs": None},
+        fingerprint=dataset_fingerprint(dataset),
+    )
+    with session:
+        result = body()
+    session.finalize(result)
+    return result
 
 
 def run_fidelity_experiment(dataset_name: str, conv: str, methods: tuple[str, ...],
+                            *legacy_args,
                             mode: str = "factual",
                             config: ExperimentConfig | None = None,
-                            jobs: int | None = None,
-                            resume: str | None = None,
-                            chunk_size: int | None = None,
-                            timeout: float | None = None,
-                            retries: int = 1) -> dict:
+                            execution: ExecutionConfig | None = None,
+                            **kwargs) -> dict:
     """Fig. 3 (factual, Fidelity−) / Fig. 4 (counterfactual, Fidelity+).
 
     Returns ``{"curves": {method: {sparsity: fidelity}}, "rows": [str]}``.
-    With ``jobs=`` the artifact runs through the sharded runner (see
-    module docstring); for a fixed config the aggregated rows are
-    byte-identical for any worker count and across ``resume``.
+    Everything after the three leading positionals is keyword-only;
+    execution options (``jobs``, ``resume``, ``trace``, …) travel in one
+    :class:`~repro.execution.ExecutionConfig`. With ``jobs``/``resume``
+    set the artifact runs through the sharded runner (see module
+    docstring); for a fixed config the aggregated rows are byte-identical
+    for any worker count and across ``resume``. Old flat kwargs
+    (``jobs=4``) and positional ``mode``/``config`` still work for one
+    release with a :class:`DeprecationWarning`.
     """
-    config = config or ExperimentConfig()
-    if jobs is not None:
+    legacy = accept_legacy_positionals("run_fidelity_experiment", legacy_args,
+                                       ("mode", "config"))
+    mode = legacy.get("mode", mode)
+    config = legacy.get("config", config) or ExperimentConfig()
+    execution = coerce_execution("run_fidelity_experiment", execution, kwargs,
+                                 extra_valid=("mode", "config"))
+    if execution.sharded:
         from ..runner import run_planned_experiment
 
         return run_planned_experiment("fidelity", dataset_name, conv, methods,
                                       mode=mode, config=config,
-                                      **_runner_kwargs(jobs, resume, chunk_size,
-                                                       timeout, retries))
+                                      execution=execution)
     model, dataset, _ = get_model(dataset_name, conv, scale=config.scale, seed=config.seed)
     instances = build_instances(dataset, config.resolved_instances(), seed=config.seed)
     fid_metric = "minus" if mode == "factual" else "plus"
 
-    curves: dict[str, dict[float, float]] = {}
-    rows: list[str] = []
-    for method in methods:
-        if not method_applicable(method, dataset_name, conv):
-            continue
-        result = run_explainer(method, model, instances, mode=mode,
-                               effort=config.resolved_effort(), alpha=config.alpha,
-                               seed=config.seed)
-        curve = fidelity_curve(model, instances, result.explanations,
-                               list(config.sparsities), metric=fid_metric)
-        curves[method] = curve
-        values = "  ".join(f"{curve[s]:+.3f}" for s in config.sparsities)
-        rows.append(f"{method:<14} {values}")
-    header = f"{'method':<14} " + "  ".join(f"s={s:.1f}" for s in config.sparsities)
-    return {"dataset": dataset_name, "conv": conv, "mode": mode,
-            "sparsities": list(config.sparsities), "curves": curves,
-            "rows": [header, *rows]}
+    def body() -> dict:
+        curves: dict[str, dict[float, float]] = {}
+        rows: list[str] = []
+        for method in methods:
+            if not method_applicable(method, dataset_name, conv):
+                continue
+            with span("method", method=method):
+                result = run_explainer(method, model, instances, mode=mode,
+                                       effort=config.resolved_effort(),
+                                       alpha=config.alpha, seed=config.seed)
+                curve = fidelity_curve(model, instances, result.explanations,
+                                       list(config.sparsities), metric=fid_metric,
+                                       batched=execution.batched)
+            curves[method] = curve
+            values = "  ".join(f"{curve[s]:+.3f}" for s in config.sparsities)
+            rows.append(f"{method:<14} {values}")
+        header = f"{'method':<14} " + "  ".join(f"s={s:.1f}" for s in config.sparsities)
+        return {"dataset": dataset_name, "conv": conv, "mode": mode,
+                "sparsities": list(config.sparsities), "curves": curves,
+                "rows": [header, *rows]}
+
+    return _run_serial("fidelity", dataset_name, conv, methods, mode, config,
+                       execution, dataset, body)
 
 
 def run_auc_experiment(dataset_name: str, conv: str, methods: tuple[str, ...],
+                       *legacy_args,
                        mode: str = "factual",
                        config: ExperimentConfig | None = None,
-                       jobs: int | None = None,
-                       resume: str | None = None,
-                       chunk_size: int | None = None,
-                       timeout: float | None = None,
-                       retries: int = 1) -> dict:
+                       execution: ExecutionConfig | None = None,
+                       **kwargs) -> dict:
     """Table IV: explanation AUC against planted motifs (synthetics only)."""
-    config = config or ExperimentConfig()
-    if jobs is not None:
+    legacy = accept_legacy_positionals("run_auc_experiment", legacy_args,
+                                       ("mode", "config"))
+    mode = legacy.get("mode", mode)
+    config = legacy.get("config", config) or ExperimentConfig()
+    execution = coerce_execution("run_auc_experiment", execution, kwargs,
+                                 extra_valid=("mode", "config"))
+    if execution.sharded:
         from ..runner import run_planned_experiment
 
         return run_planned_experiment("auc", dataset_name, conv, methods,
                                       mode=mode, config=config,
-                                      **_runner_kwargs(jobs, resume, chunk_size,
-                                                       timeout, retries))
+                                      execution=execution)
     model, dataset, _ = get_model(dataset_name, conv, scale=config.scale, seed=config.seed)
     instances = build_instances(dataset, config.resolved_instances(), seed=config.seed,
                                 motif_only=True, correct_only=True, model=model)
@@ -277,60 +321,72 @@ def run_auc_experiment(dataset_name: str, conv: str, methods: tuple[str, ...],
         raise EvaluationError(f"{dataset_name}/{conv}: no correctly-predicted motif instances")
     graphs = [inst.graph for inst in instances]
 
-    aucs: dict[str, float] = {}
-    for method in methods:
-        if not method_applicable(method, dataset_name, conv):
-            continue
-        result = run_explainer(method, model, instances, mode=mode,
-                               effort=config.resolved_effort(), alpha=config.alpha,
-                               seed=config.seed)
-        aucs[method] = mean_explanation_auc(graphs, result.explanations)
-    rows = [f"{m:<14} {v:.3f}" for m, v in aucs.items()]
-    return {"dataset": dataset_name, "conv": conv, "mode": mode,
-            "num_instances": len(instances), "auc": aucs, "rows": rows}
+    def body() -> dict:
+        aucs: dict[str, float] = {}
+        for method in methods:
+            if not method_applicable(method, dataset_name, conv):
+                continue
+            with span("method", method=method):
+                result = run_explainer(method, model, instances, mode=mode,
+                                       effort=config.resolved_effort(),
+                                       alpha=config.alpha, seed=config.seed)
+                aucs[method] = mean_explanation_auc(graphs, result.explanations)
+        rows = [f"{m:<14} {v:.3f}" for m, v in aucs.items()]
+        return {"dataset": dataset_name, "conv": conv, "mode": mode,
+                "num_instances": len(instances), "auc": aucs, "rows": rows}
+
+    return _run_serial("auc", dataset_name, conv, methods, mode, config,
+                       execution, dataset, body)
 
 
 def run_runtime_experiment(dataset_name: str, conv: str, methods: tuple[str, ...],
+                           *legacy_args,
                            config: ExperimentConfig | None = None,
-                           jobs: int | None = None,
-                           resume: str | None = None,
-                           chunk_size: int | None = None,
-                           timeout: float | None = None,
-                           retries: int = 1) -> dict:
+                           execution: ExecutionConfig | None = None,
+                           **kwargs) -> dict:
     """Table V: mean running time per instance for each method."""
-    config = config or ExperimentConfig()
-    if jobs is not None:
+    legacy = accept_legacy_positionals("run_runtime_experiment", legacy_args,
+                                       ("config",))
+    config = legacy.get("config", config) or ExperimentConfig()
+    execution = coerce_execution("run_runtime_experiment", execution, kwargs,
+                                 extra_valid=("config",))
+    if execution.sharded:
         from ..runner import run_planned_experiment
 
         return run_planned_experiment("runtime", dataset_name, conv, methods,
-                                      config=config,
-                                      **_runner_kwargs(jobs, resume, chunk_size,
-                                                       timeout, retries))
+                                      config=config, execution=execution)
     model, dataset, _ = get_model(dataset_name, conv, scale=config.scale, seed=config.seed)
     instances = build_instances(dataset, config.resolved_instances(), seed=config.seed)
 
-    times: dict[str, float] = {}
-    details: dict[str, dict] = {}
-    for method in methods:
-        if not method_applicable(method, dataset_name, conv):
-            continue
-        result = run_explainer(method, model, instances, mode="factual",
-                               effort=config.resolved_effort(), alpha=config.alpha,
-                               seed=config.seed)
-        times[method] = result.mean_seconds
-        details[method] = {"total": result.total_seconds,
-                           "std": result.std_seconds}
-        # PGExplainer reports "training (inference)" separately.
-        train_s = result.explanations[0].meta.get("train_seconds") if result.explanations else None
-        if train_s:
-            details[method]["train_seconds"] = train_s
-    rows = []
-    for m, v in times.items():
-        extra = details[m].get("train_seconds")
-        label = f"{v:.3f}" + (f" (train {extra:.1f})" if extra else "")
-        rows.append(f"{m:<14} {label}")
-    return {"dataset": dataset_name, "conv": conv, "mean_seconds": times,
-            "details": details, "rows": rows}
+    def body() -> dict:
+        times: dict[str, float] = {}
+        details: dict[str, dict] = {}
+        for method in methods:
+            if not method_applicable(method, dataset_name, conv):
+                continue
+            with span("method", method=method):
+                result = run_explainer(method, model, instances, mode="factual",
+                                       effort=config.resolved_effort(),
+                                       alpha=config.alpha, seed=config.seed)
+            times[method] = result.mean_seconds
+            details[method] = {"total": result.total_seconds,
+                               "std": result.std_seconds}
+            # PGExplainer reports "training (inference)" separately.
+            train_s = None
+            if result.explanations:
+                train_s = result.explanations[0].meta.get("perf", {}).get("train_seconds")
+            if train_s:
+                details[method]["train_seconds"] = train_s
+        rows = []
+        for m, v in times.items():
+            extra = details[m].get("train_seconds")
+            label = f"{v:.3f}" + (f" (train {extra:.1f})" if extra else "")
+            rows.append(f"{m:<14} {label}")
+        return {"dataset": dataset_name, "conv": conv, "mean_seconds": times,
+                "details": details, "rows": rows}
+
+    return _run_serial("runtime", dataset_name, conv, methods, "factual",
+                       config, execution, dataset, body)
 
 
 def run_alpha_sensitivity(dataset_name: str, conv: str,

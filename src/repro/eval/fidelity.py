@@ -23,6 +23,7 @@ from ..errors import EvaluationError
 from ..explain.base import Explanation
 from ..graph import Graph
 from ..nn.models import GNN
+from ..obs import span
 from .sparsity import (
     explanatory_keep_mask,
     explanatory_subgraph,
@@ -95,29 +96,31 @@ def fidelity_curve(model: GNN, instances: list[Instance],
     """
     if metric not in ("minus", "plus"):
         raise EvaluationError(f"metric must be 'minus' or 'plus', got {metric!r}")
-    if not batched:
-        fn = fidelity_minus if metric == "minus" else fidelity_plus
-        return {float(s): fn(model, instances, explanations, s) for s in sparsities}
+    with span("fidelity_sweep", metric=metric, batched=batched,
+              num_instances=len(instances)):
+        if not batched:
+            fn = fidelity_minus if metric == "minus" else fidelity_plus
+            return {float(s): fn(model, instances, explanations, s) for s in sparsities}
 
-    if len(instances) != len(explanations):
-        raise EvaluationError(
-            f"{len(instances)} instances but {len(explanations)} explanations"
-        )
-    if not instances:
-        raise EvaluationError("fidelity requires at least one instance")
-    mask_fn = unexplanatory_keep_mask if metric == "plus" else explanatory_keep_mask
-    num_layers = model.num_layers
-    drops = np.zeros(len(sparsities))
-    for inst, exp in zip(instances, explanations):
-        class_idx = exp.predicted_class
-        p_orig = class_probability(model, inst.graph, class_idx, target=inst.target)
-        E, N = inst.graph.num_edges, inst.graph.num_nodes
-        mask_stack = np.ones((len(sparsities), num_layers, E + N))
-        for j, s in enumerate(sparsities):
-            keep = mask_fn(E, exp.edge_scores, float(s),
-                           candidate_edges=exp.context_edge_positions)
-            mask_stack[j, :, :E] = keep.astype(np.float64)
-        probs = model.predict_proba_batch(inst.graph, mask_stack, structural=True)
-        row = inst.target if inst.target is not None else 0
-        drops += p_orig - probs[:, row, class_idx]
-    return {float(s): float(d / len(instances)) for s, d in zip(sparsities, drops)}
+        if len(instances) != len(explanations):
+            raise EvaluationError(
+                f"{len(instances)} instances but {len(explanations)} explanations"
+            )
+        if not instances:
+            raise EvaluationError("fidelity requires at least one instance")
+        mask_fn = unexplanatory_keep_mask if metric == "plus" else explanatory_keep_mask
+        num_layers = model.num_layers
+        drops = np.zeros(len(sparsities))
+        for inst, exp in zip(instances, explanations):
+            class_idx = exp.predicted_class
+            p_orig = class_probability(model, inst.graph, class_idx, target=inst.target)
+            E, N = inst.graph.num_edges, inst.graph.num_nodes
+            mask_stack = np.ones((len(sparsities), num_layers, E + N))
+            for j, s in enumerate(sparsities):
+                keep = mask_fn(E, exp.edge_scores, float(s),
+                               candidate_edges=exp.context_edge_positions)
+                mask_stack[j, :, :E] = keep.astype(np.float64)
+            probs = model.predict_proba_batch(inst.graph, mask_stack, structural=True)
+            row = inst.target if inst.target is not None else 0
+            drops += p_orig - probs[:, row, class_idx]
+        return {float(s): float(d / len(instances)) for s, d in zip(sparsities, drops)}

@@ -60,22 +60,39 @@ EXPLAINERS: dict[str, type[Explainer]] = {
 }
 
 
-def make_explainer(name: str, model: GNN, **kwargs) -> Explainer:
-    """Instantiate an explainer by registry name.
-
-    ``"revelio"`` and ``"revelio_topk"`` resolve to the core package;
-    everything else comes from :data:`EXPLAINERS`.
-    """
+def _resolve_explainer_class(name: str) -> type[Explainer]:
     key = name.lower().replace("-", "_")
     if key == "revelio":
         from ..core import Revelio
 
-        return Revelio(model, **kwargs)
+        return Revelio
     if key == "revelio_topk":
         from ..core import TopKRevelio
 
-        return TopKRevelio(model, **kwargs)
+        return TopKRevelio
     if key not in EXPLAINERS:
         available = sorted(EXPLAINERS) + ["revelio", "revelio_topk"]
         raise ExplainerError(f"unknown explainer {name!r}; available: {available}")
-    return EXPLAINERS[key](model, **kwargs)
+    return EXPLAINERS[key]
+
+
+def make_explainer(name: str, model: GNN, **kwargs) -> Explainer:
+    """Instantiate an explainer by registry name.
+
+    ``"revelio"`` and ``"revelio_topk"`` resolve to the core package;
+    everything else comes from :data:`EXPLAINERS`. All configuration after
+    ``(name, model)`` is keyword-only; a keyword the method's constructor
+    does not accept raises :class:`~repro.errors.ReproError` naming the
+    nearest valid option instead of a bare ``TypeError``.
+    """
+    import inspect
+
+    from ..execution import reject_unknown_kwargs
+
+    cls = _resolve_explainer_class(name)
+    params = inspect.signature(cls.__init__).parameters
+    if not any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        valid = tuple(p for p in params if p not in ("self", "model"))
+        unknown = {k: v for k, v in kwargs.items() if k not in valid}
+        reject_unknown_kwargs(f"make_explainer({name!r})", unknown, valid)
+    return cls(model, **kwargs)

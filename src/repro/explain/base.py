@@ -30,8 +30,8 @@ from ..errors import ExplainerError
 from ..flows import FlowIndex, graph_fingerprint
 from ..flows.cache import LRUCache
 from ..graph import Graph, induced_subgraph, k_hop_subgraph
-from ..instrumentation import PERF
 from ..nn.models import GNN
+from ..obs import PERF, span
 
 __all__ = ["Explanation", "Explainer", "NodeContext", "MODES",
            "CONTEXT_CACHE", "context_cache_disabled", "clear_context_cache"]
@@ -94,7 +94,19 @@ class Explanation:
         fidelity sweeps rank and perturb only these (edges outside the
         L-hop neighborhood cannot influence the prediction).
     meta:
-        Free-form extras (losses, timings, hyperparameters).
+        Structured extras. Three keys are reserved schema:
+
+        * ``meta["params"]`` — the method hyperparameters the explanation
+          was computed with (epochs, lr, alpha, samples, …), a flat dict
+          of scalars.
+        * ``meta["perf"]`` — performance/timing measurements (e.g.
+          ``train_seconds`` for group-fit methods, ``explain_seconds``,
+          ``stencil_evals``), a flat dict of scalars.
+        * ``meta["trace_id"]`` — id of the trace this explanation was
+          recorded under, when :mod:`repro.obs` tracing was enabled.
+
+        Method-specific *diagnostics* (final loss, flow counts, selected
+        flows, per-layer weights) remain free-form top-level keys.
     """
 
     edge_scores: np.ndarray
@@ -137,7 +149,10 @@ class Explanation:
             return row[:self.context_edge_positions.shape[0]].copy()
         if row.shape[0] >= self.edge_scores.shape[0]:
             return row[:self.edge_scores.shape[0]].copy()
-        return row.copy()
+        raise ExplainerError(
+            f"{self.method}: layer scores cover {row.shape[0]} edges but "
+            f"edge_scores has {self.edge_scores.shape[0]} and neither "
+            f"flow_index nor context_edge_positions maps them")
 
     def top_flows(self, k: int) -> list[tuple[tuple[int, ...], float]]:
         """Top-``k`` flows as ``(node_sequence, score)`` pairs.
@@ -210,11 +225,20 @@ class Explainer:
         """
         if mode not in MODES:
             raise ExplainerError(f"unknown mode {mode!r}; expected one of {MODES}")
-        if self.model.task == "node":
-            if target is None:
-                raise ExplainerError("node-classification explanation requires a target node")
-            return self.explain_node(graph, int(target), mode=mode)
-        return self.explain_graph(graph, mode=mode)
+        with span("explain", method=self.name, mode=mode) as sp:
+            if self.model.task == "node":
+                if target is None:
+                    raise ExplainerError("node-classification explanation requires a target node")
+                explanation = self.explain_node(graph, int(target), mode=mode)
+            else:
+                explanation = self.explain_graph(graph, mode=mode)
+            if sp is not None:
+                sp.set(target=explanation.target,
+                       num_edges=int(explanation.edge_scores.shape[0]))
+                explanation.meta["trace_id"] = sp.trace_id
+        if sp is not None:
+            explanation.meta.setdefault("perf", {})["explain_seconds"] = sp.seconds
+        return explanation
 
     def explain_node(self, graph: Graph, node: int, mode: str = "factual") -> Explanation:
         raise NotImplementedError
@@ -234,12 +258,14 @@ class Explainer:
         the returned context as read-only (all in-tree consumers do).
         """
         if not _CONTEXT_CACHE_ENABLED[0]:
-            return self._extract_context(graph, node)
+            with span("context_extract", node=int(node)):
+                return self._extract_context(graph, node)
         x_hash = hashlib.sha1(np.ascontiguousarray(graph.x).tobytes()).hexdigest()
         key = (graph_fingerprint(graph), x_hash, self.model.num_layers, int(node))
         context = CONTEXT_CACHE.get(key)
         if context is None:
-            context = self._extract_context(graph, node)
+            with span("context_extract", node=int(node)):
+                context = self._extract_context(graph, node)
             CONTEXT_CACHE.put(key, context)
         else:
             PERF.context_cache_hits += 1

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
 
+from ..execution import accept_legacy_positionals, reject_unknown_kwargs
 from .base import Explainer, Explanation
 from .io import save_explanation
 
@@ -50,11 +51,18 @@ class BatchResult:
 
 
 def explain_instances(explainer: Explainer, instances: "Sequence[Instance]",
+                      *legacy_args,
                       mode: str = "factual",
                       progress: Callable[[int, int], None] | None = None,
                       save_dir: str | Path | None = None,
-                      raise_on_error: bool = False) -> BatchResult:
+                      raise_on_error: bool = False,
+                      **kwargs) -> BatchResult:
     """Explain a list of instances, collecting failures instead of dying.
+
+    Everything after ``(explainer, instances)`` is keyword-only; the old
+    positional shapes still work for one release with a
+    :class:`DeprecationWarning`, and unknown keywords raise
+    :class:`~repro.errors.ReproError` naming the nearest valid option.
 
     Parameters
     ----------
@@ -70,6 +78,15 @@ def explain_instances(explainer: Explainer, instances: "Sequence[Instance]",
     raise_on_error:
         Re-raise the first per-instance error instead of recording it.
     """
+    legacy = accept_legacy_positionals(
+        "explain_instances", legacy_args,
+        ("mode", "progress", "save_dir", "raise_on_error"))
+    mode = legacy.get("mode", mode)
+    progress = legacy.get("progress", progress)
+    save_dir = legacy.get("save_dir", save_dir)
+    raise_on_error = legacy.get("raise_on_error", raise_on_error)
+    reject_unknown_kwargs("explain_instances", kwargs,
+                          ("mode", "progress", "save_dir", "raise_on_error"))
     if save_dir is not None:
         save_dir = Path(save_dir)
         save_dir.mkdir(parents=True, exist_ok=True)

@@ -231,6 +231,7 @@ class FlowX(Explainer):
             mode=mode,
             flow_scores=flow_scores,
             flow_index=flow_index,
-            meta={"samples": self.samples, "finetune_epochs": self.finetune_epochs,
+            meta={"params": {"samples": self.samples,
+                             "finetune_epochs": self.finetune_epochs},
                   "num_flows": flow_index.num_flows},
         )

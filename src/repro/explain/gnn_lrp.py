@@ -162,6 +162,6 @@ class GNNLRP(Explainer):
             mode=mode,
             flow_scores=scores,
             flow_index=flow_index,
-            meta={"step": h, "num_flows": flow_index.num_flows,
-                  "stencil_evals": len(cache)},
+            meta={"params": {"step": h}, "num_flows": flow_index.num_flows,
+                  "perf": {"stencil_evals": len(cache)}},
         )

@@ -125,7 +125,7 @@ class GNNExplainer(Explainer):
         scores = raw_mask.sigmoid().numpy().copy()
         if mode == "counterfactual":
             scores = 1.0 - scores
-        meta: dict = {"epochs": self.epochs, "lr": self.lr}
+        meta: dict = {"params": {"epochs": self.epochs, "lr": self.lr}}
         if raw_feature is not None:
             meta["feature_scores"] = raw_feature.sigmoid().numpy().copy()
         return Explanation(

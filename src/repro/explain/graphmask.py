@@ -183,7 +183,7 @@ class GraphMask(Explainer):
             layer_edge_scores=layer_scores,
             context_node_ids=context.node_ids,
             context_edge_positions=context.edge_positions,
-            meta={"train_seconds": self.train_seconds},
+            meta={"perf": {"train_seconds": self.train_seconds}},
         )
 
     def explain_graph(self, graph: Graph, mode: str = "factual") -> Explanation:
@@ -198,7 +198,7 @@ class GraphMask(Explainer):
             method=self.name,
             mode=mode,
             layer_edge_scores=layer_scores,
-            meta={"train_seconds": self.train_seconds},
+            meta={"perf": {"train_seconds": self.train_seconds}},
         )
 
     def _scores(self, graph: Graph) -> tuple[np.ndarray, np.ndarray]:

@@ -18,6 +18,25 @@ from .base import Explanation
 
 __all__ = ["save_explanation", "load_explanation"]
 
+_SCALAR_TYPES = (int, float, str, bool, type(None))
+
+
+def _jsonable_meta(meta: dict) -> dict:
+    """Keep scalar meta values plus flat dicts of scalars.
+
+    The reserved ``meta["params"]`` / ``meta["perf"]`` sub-dicts (see
+    :class:`~repro.explain.base.Explanation`) round-trip; array-valued
+    diagnostics (layer weights, selected flows) are dropped as before.
+    """
+    out = {}
+    for k, v in meta.items():
+        if isinstance(v, _SCALAR_TYPES):
+            out[k] = v
+        elif isinstance(v, dict) and all(
+                isinstance(sv, _SCALAR_TYPES) for sv in v.values()):
+            out[k] = dict(v)
+    return out
+
 
 def save_explanation(explanation: Explanation, path: str | Path) -> None:
     """Serialize an explanation (including its flow index) to ``.npz``."""
@@ -29,8 +48,7 @@ def save_explanation(explanation: Explanation, path: str | Path) -> None:
         "method": explanation.method,
         "mode": explanation.mode,
         "target": explanation.target,
-        "meta": {k: v for k, v in explanation.meta.items()
-                 if isinstance(v, (int, float, str, bool))},
+        "meta": _jsonable_meta(explanation.meta),
     }
     if explanation.layer_edge_scores is not None:
         payload["layer_edge_scores"] = explanation.layer_edge_scores

@@ -154,7 +154,7 @@ class PGExplainer(Explainer):
             target=node,
             context_node_ids=context.node_ids,
             context_edge_positions=context.edge_positions,
-            meta={"train_seconds": self.train_seconds},
+            meta={"perf": {"train_seconds": self.train_seconds}},
         )
 
     def explain_graph(self, graph: Graph, mode: str = "factual") -> Explanation:
@@ -167,7 +167,7 @@ class PGExplainer(Explainer):
             predicted_class=self.predicted_class(graph),
             method=self.name,
             mode=mode,
-            meta={"train_seconds": self.train_seconds},
+            meta={"perf": {"train_seconds": self.train_seconds}},
         )
 
     def _require_fit(self) -> None:

@@ -69,7 +69,7 @@ class PGMExplainer(Explainer):
             target=node,
             context_node_ids=context.node_ids,
             context_edge_positions=context.edge_positions,
-            meta={"num_samples": self.num_samples},
+            meta={"params": {"num_samples": self.num_samples}},
         )
 
     def explain_graph(self, graph: Graph, mode: str = "factual") -> Explanation:
@@ -80,7 +80,7 @@ class PGMExplainer(Explainer):
             predicted_class=class_idx,
             method=self.name,
             mode=mode,
-            meta={"num_samples": self.num_samples},
+            meta={"params": {"num_samples": self.num_samples}},
         )
 
     # ------------------------------------------------------------------

@@ -7,8 +7,6 @@ a null explainer.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..graph import Graph
 from ..nn.models import GNN
 from ..rng import ensure_rng

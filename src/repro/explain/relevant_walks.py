@@ -157,5 +157,5 @@ class RelevantWalks(Explainer):
             mode=mode,
             flow_scores=flow_scores,
             flow_index=flow_index,
-            meta={"k": self.k, "log_scores": log_scores},
+            meta={"params": {"k": self.k}, "log_scores": log_scores},
         )

@@ -88,7 +88,7 @@ class SubgraphX(Explainer):
             target=node,
             context_node_ids=context.node_ids,
             context_edge_positions=context.edge_positions,
-            meta={"rollouts": self.rollouts},
+            meta={"params": {"rollouts": self.rollouts}},
         )
 
     def explain_graph(self, graph: Graph, mode: str = "factual") -> Explanation:
@@ -98,7 +98,7 @@ class SubgraphX(Explainer):
             predicted_class=class_idx,
             method=self.name,
             mode=mode,
-            meta={"rollouts": self.rollouts},
+            meta={"params": {"rollouts": self.rollouts}},
         )
 
     # ------------------------------------------------------------------

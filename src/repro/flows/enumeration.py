@@ -22,8 +22,8 @@ import numpy as np
 from ..autograd import Tensor
 from ..errors import FlowError
 from ..graph import Graph
-from ..instrumentation import PERF
 from ..nn.message_passing import augment_edges, num_layer_edges
+from ..obs import PERF, span
 
 __all__ = ["FlowIndex", "enumerate_flows", "count_flows"]
 
@@ -255,6 +255,15 @@ def enumerate_flows(graph: Graph, num_layers: int, target: int | None = None,
         raise FlowError(f"target {target} out of range")
 
     PERF.flow_enumerations += 1
+    with span("flow_enumerate", num_layers=num_layers) as sp:
+        index = _enumerate(graph, num_layers, target, max_flows)
+        if sp is not None:
+            sp.set(num_flows=index.num_flows)
+    return index
+
+
+def _enumerate(graph: Graph, num_layers: int, target: int | None,
+               max_flows: int) -> FlowIndex:
     in_src, in_ids = _incoming_lists(graph)
 
     # Grow paths backwards from the final node(s): a partial path of length

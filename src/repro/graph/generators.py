@@ -52,7 +52,6 @@ def barabasi_albert_edges(num_nodes: int, m: int,
         raise DatasetError(f"BA graph needs > m+1 nodes (m={m}, n={num_nodes})")
     pairs: list[tuple[int, int]] = []
     # Seed with a star on the first m+1 nodes so every node has degree >= 1.
-    targets = list(range(m))
     repeated: list[int] = []
     for new in range(m, num_nodes):
         chosen = set()

@@ -13,7 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..autograd import Adam, Tensor, cross_entropy, no_grad
+from ..autograd import Adam, cross_entropy, no_grad
 from ..errors import ModelError
 from ..graph import Graph, GraphBatch
 from ..rng import ensure_rng

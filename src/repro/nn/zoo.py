@@ -18,9 +18,7 @@ import os
 from dataclasses import dataclass
 from pathlib import Path
 
-import numpy as np
-
-from ..datasets import GraphDataset, NodeDataset, dataset_task, load_dataset
+from ..datasets import GraphDataset, NodeDataset, load_dataset
 from ..errors import ModelError
 from ..graph import load_state_dict, save_state_dict
 from .models import GNN, build_model

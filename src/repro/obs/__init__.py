@@ -1,0 +1,66 @@
+"""repro.obs — observability: counters, hierarchical tracing, manifests.
+
+Two halves, one subsystem:
+
+* **Counters** (:mod:`repro.obs.counters`): the always-on global
+  :data:`PERF` object counting forwards, enumerations and cache hits —
+  answers *how much* work ran.
+* **Tracer** (:mod:`repro.obs.trace`): opt-in nested spans over the hot
+  paths (explain → context-extract → flow-enumerate → epoch →
+  masked-forward) — answers *where the time went*.
+
+Both ship deltas across the worker pool (``PERF.merge`` /
+``TRACER.absorb``) so multiprocess runs stay truthful, and a
+:class:`RunManifest` ties a run's trace, counters, config, seeds and
+dataset fingerprint into one reproduction recipe.
+"""
+
+from .counters import PERF, PerfCounters, perf_snapshot, reset_perf
+from .manifest import (
+    RunManifest,
+    build_manifest,
+    dataset_fingerprint,
+    git_revision,
+    load_manifest,
+)
+from .session import TraceSession
+from .summary import format_summary, load_trace, summarize_spans, summarize_trace
+from .trace import (
+    TRACER,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Span,
+    Tracer,
+    TraceSink,
+    current_span,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "PERF",
+    "PerfCounters",
+    "perf_snapshot",
+    "reset_perf",
+    "Span",
+    "Tracer",
+    "TraceSink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "TRACER",
+    "span",
+    "current_span",
+    "tracing",
+    "RunManifest",
+    "build_manifest",
+    "load_manifest",
+    "dataset_fingerprint",
+    "git_revision",
+    "TraceSession",
+    "load_trace",
+    "summarize_spans",
+    "format_summary",
+    "summarize_trace",
+]

@@ -1,0 +1,101 @@
+"""TraceSession: one traced experiment run from enable to manifest.
+
+The experiment drivers wrap their work in a :class:`TraceSession` when
+``ExecutionConfig.trace`` is set: it enables the global tracer, snapshots
+the PERF counters, opens a root ``experiment`` span, and on
+:meth:`TraceSession.finalize` exports the merged trace to JSONL and
+writes a :class:`repro.obs.manifest.RunManifest` next to it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .counters import PERF
+from .manifest import build_manifest
+from .trace import TRACER, NullSink
+
+__all__ = ["TraceSession"]
+
+
+class TraceSession:
+    """Context manager owning the tracer for one experiment run.
+
+    Parameters
+    ----------
+    trace_path:
+        Where the merged trace JSONL is written; the manifest lands next
+        to it at ``<trace_path minus suffix>.manifest.json``.
+    run_meta:
+        Experiment coordinates recorded in the manifest (dataset, conv,
+        methods, mode, config snapshot, seed).
+    fingerprint:
+        Optional dataset fingerprint for the manifest.
+    """
+
+    def __init__(self, trace_path: str | Path, run_meta: dict | None = None,
+                 fingerprint: str | None = None):
+        self.trace_path = Path(trace_path)
+        self.run_meta = dict(run_meta or {})
+        self.fingerprint = fingerprint
+        self.trace_id: str | None = None
+        self.manifest = None
+        self.manifest_path: Path | None = None
+        self._perf_before: dict | None = None
+        self._root_cm = None
+        self._prev = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "TraceSession":
+        self._prev = (TRACER.enabled, TRACER.sink, TRACER.trace_id)
+        TRACER.reset()
+        self.trace_id = TRACER.enable(sink=NullSink())
+        self._perf_before = PERF.snapshot()
+        self._root_cm = TRACER.start_span("experiment", {})
+        self._root_cm.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._root_cm is not None:
+            self._root_cm.__exit__(exc_type, exc, tb)
+            self._root_cm = None
+        TRACER.disable()
+        if exc_type is not None and self._prev is not None:
+            # Failed run: restore the tracer without writing artifacts.
+            TRACER.enabled, TRACER.sink, TRACER.trace_id = self._prev
+        return False
+
+    # ------------------------------------------------------------------
+    def finalize(self, result: dict | None = None,
+                 run_meta: dict | None = None) -> Path:
+        """Export the trace, write the manifest, annotate ``result``.
+
+        Call after the ``with`` block exits cleanly. Returns the trace
+        path; ``result`` (if given) gains ``trace_path``,
+        ``manifest_path``, ``trace_id`` and ``manifest`` keys.
+        """
+        if run_meta:
+            self.run_meta.update(run_meta)
+        perf_delta = PERF.delta(self._perf_before or {}, PERF.snapshot()) \
+            if self._perf_before is not None else PERF.snapshot()
+        TRACER.export_jsonl(self.trace_path)
+        self.manifest = build_manifest(
+            trace_id=self.trace_id or "untraced",
+            run_meta=self.run_meta,
+            perf_delta=perf_delta,
+            span_aggregates=TRACER.aggregate_table(),
+            dropped_spans=TRACER.dropped,
+            fingerprint=self.fingerprint,
+        )
+        self.manifest_path = self.trace_path.with_suffix("").with_suffix(
+            ".manifest.json") if self.trace_path.suffix else \
+            self.trace_path.with_name(self.trace_path.name + ".manifest.json")
+        self.manifest.write(self.manifest_path)
+        if self._prev is not None:
+            TRACER.enabled, TRACER.sink, TRACER.trace_id = self._prev
+        if result is not None:
+            result["trace_path"] = str(self.trace_path)
+            result["manifest_path"] = str(self.manifest_path)
+            result["trace_id"] = self.trace_id
+            result["manifest"] = self.manifest.to_dict()
+        return self.trace_path

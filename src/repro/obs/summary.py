@@ -1,0 +1,97 @@
+"""Trace summarization: per-method, per-stage time breakdown tables.
+
+FlowX and Relevant Walk Search report per-phase cost (flow enumeration
+vs. mask optimization vs. search); :func:`summarize_spans` produces the
+same breakdown mechanically from any exported trace, and
+``repro trace summarize PATH`` renders it on the command line.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import EvaluationError
+
+__all__ = ["load_trace", "summarize_spans", "format_summary", "summarize_trace"]
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Read span records from a trace JSONL file (bad lines skipped)."""
+    path = Path(path)
+    if not path.exists():
+        raise EvaluationError(f"no such trace file: {path}")
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "name" in record:
+                records.append(record)
+    return records
+
+
+def summarize_spans(records: list[dict]) -> dict:
+    """Aggregate span records into a per-method, per-stage breakdown.
+
+    Returns ``{method: {stage: {"count", "seconds", "mean_seconds"}}}``;
+    spans without a ``method`` attribute are grouped under ``"-"``.
+    """
+    table: dict[str, dict[str, dict]] = {}
+    for record in records:
+        method = (record.get("attrs") or {}).get("method") or "-"
+        stage = record["name"]
+        cell = table.setdefault(method, {}).setdefault(
+            stage, {"count": 0, "seconds": 0.0})
+        cell["count"] += 1
+        cell["seconds"] += float(record.get("seconds", 0.0))
+    for stages in table.values():
+        for cell in stages.values():
+            cell["mean_seconds"] = cell["seconds"] / max(cell["count"], 1)
+    return table
+
+
+def format_summary(table: dict, processes: int | None = None) -> list[str]:
+    """Render a breakdown table as aligned text rows.
+
+    Stages are ordered by descending total seconds within each method;
+    methods by descending total ``explain`` time (then name) so the
+    expensive methods lead, as in the paper's runtime table.
+    """
+    rows = [f"{'method':<16} {'stage':<22} {'count':>7} {'seconds':>10} "
+            f"{'mean_ms':>9} {'share':>7}"]
+
+    def method_cost(item):
+        stages = item[1]
+        total = stages.get("explain", {}).get("seconds")
+        if total is None:
+            total = sum(c["seconds"] for c in stages.values())
+        return -total
+
+    for method, stages in sorted(table.items(), key=lambda i: (method_cost(i), i[0])):
+        denom = stages.get("explain", {}).get("seconds") or max(
+            (c["seconds"] for c in stages.values()), default=0.0)
+        for stage, cell in sorted(stages.items(), key=lambda i: -i[1]["seconds"]):
+            share = cell["seconds"] / denom if denom > 0 else 0.0
+            rows.append(
+                f"{method:<16} {stage:<22} {cell['count']:>7} "
+                f"{cell['seconds']:>10.4f} {cell['mean_seconds'] * 1e3:>9.2f} "
+                f"{share:>6.1%}"
+            )
+    if processes is not None:
+        rows.append(f"(spans from {processes} process{'es' if processes != 1 else ''})")
+    return rows
+
+
+def summarize_trace(path: str | Path) -> list[str]:
+    """Load, aggregate and render one trace file (the CLI entry point)."""
+    records = load_trace(path)
+    if not records:
+        raise EvaluationError(f"trace {path} contains no span records")
+    processes = len({r.get("pid") for r in records if r.get("pid") is not None})
+    return format_summary(summarize_spans(records), processes=processes or None)

@@ -1,11 +1,15 @@
 """High-level entry: plan → (pool | inline) → aggregate, with resume.
 
 :func:`run_planned_experiment` is what :mod:`repro.eval.experiments`
-delegates to when a runner is called with ``jobs=``: it warms the
+delegates to when a runner is called with sharding options: it warms the
 dataset/model context once in the parent (so forked workers inherit it
 and concurrent workers never race to train the same checkpoint), plans
 the job grid, executes it fault-tolerantly and folds the records back
-into the serial runner's exact return structure.
+into the serial runner's exact return structure. When
+``ExecutionConfig.trace`` is set, the whole run is wrapped in a
+:class:`repro.obs.TraceSession`: worker spans are shipped back with each
+result envelope and merged into one trace, and a ``RunManifest`` is
+written next to the exported trace JSONL.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from ..errors import EvaluationError
+from ..execution import ExecutionConfig, resolve_trace_path
 from .aggregate import aggregate_experiment
 from .execute import experiment_context
 from .plan import ExperimentPlan, plan_experiment
@@ -29,7 +34,8 @@ def plan_artifact(artifact: str, dataset_name: str, conv: str,
     Materializing the instance list here (in the parent) pins the
     effective instance count — for AUC artifacts ``correct_only``
     filtering can return fewer instances than requested — and leaves a
-    trained model in the zoo cache for workers to load.
+    trained model in the zoo cache for workers to load. The dataset's
+    content fingerprint is stashed in ``plan.meta`` for run manifests.
     """
     from ..eval.experiments import ExperimentConfig
 
@@ -42,13 +48,17 @@ def plan_artifact(artifact: str, dataset_name: str, conv: str,
              "config_seed": config.seed,
              "num_instances": config.resolved_instances(),
              "motif_only": artifact == "auc", "correct_only": artifact == "auc"}
-    _, _, instances = experiment_context(probe)
+    _, dataset, instances = experiment_context(probe)
     if not instances:
         raise EvaluationError(
             f"{dataset_name}/{conv}: no instances available for {artifact}")
-    return plan_experiment(artifact, dataset_name, conv, methods, mode=mode,
+    plan = plan_experiment(artifact, dataset_name, conv, methods, mode=mode,
                            config=config, num_instances=len(instances),
                            chunks=chunks)
+    from ..obs import dataset_fingerprint
+
+    plan.meta["dataset_fingerprint"] = dataset_fingerprint(dataset)
+    return plan
 
 
 def run_planned_experiment(artifact: str, dataset_name: str, conv: str,
@@ -57,11 +67,16 @@ def run_planned_experiment(artifact: str, dataset_name: str, conv: str,
                            resume: str | Path | None = None,
                            chunks: int | None = None,
                            timeout: float | None = None, retries: int = 1,
-                           on_record=None) -> dict:
+                           on_record=None,
+                           execution: ExecutionConfig | None = None) -> dict:
     """Run one artifact through the sharded runner.
 
     Parameters
     ----------
+    execution:
+        When given, its ``jobs``/``resume``/``chunk_size``/``timeout``/
+        ``retries``/``trace`` fields override the corresponding flat
+        parameters (the flat forms remain for internal callers).
     workers:
         ``1`` executes inline (deterministic, debuggable); ``N > 1`` uses
         the crash-isolated worker pool.
@@ -72,9 +87,36 @@ def run_planned_experiment(artifact: str, dataset_name: str, conv: str,
     timeout, retries:
         Per-job limits, see :func:`repro.runner.pool.run_jobs`.
     """
-    plan = plan_artifact(artifact, dataset_name, conv, methods, mode=mode,
-                         config=config, chunks=chunks)
-    records = run_jobs(plan.jobs, workers=workers, timeout=timeout,
-                       retries=retries, journal_path=resume,
-                       resume=resume is not None, on_record=on_record)
-    return aggregate_experiment(plan, records)
+    trace = None
+    if execution is not None:
+        workers = execution.workers
+        resume = execution.resume if execution.resume is not None else resume
+        chunks = execution.chunk_size if execution.chunk_size is not None else chunks
+        timeout = execution.timeout if execution.timeout is not None else timeout
+        retries = execution.retries
+        trace = execution.trace
+
+    def execute() -> dict:
+        plan = plan_artifact(artifact, dataset_name, conv, methods, mode=mode,
+                             config=config, chunks=chunks)
+        records = run_jobs(plan.jobs, workers=workers, timeout=timeout,
+                           retries=retries, journal_path=resume,
+                           resume=resume is not None, on_record=on_record)
+        result = aggregate_experiment(plan, records)
+        return plan, result
+
+    trace_target = resolve_trace_path(
+        trace, str(resume) if resume is not None else None,
+        f"trace_{artifact}_{dataset_name}_{conv}.jsonl")
+    if trace_target is None:
+        _, result = execute()
+        return result
+
+    from ..obs import TraceSession
+
+    session = TraceSession(trace_target)
+    with session:
+        plan, result = execute()
+    session.fingerprint = plan.meta.get("dataset_fingerprint")
+    session.finalize(result, run_meta=dict(plan.meta, jobs=workers))
+    return result

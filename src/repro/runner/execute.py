@@ -119,7 +119,7 @@ def run_auc_chunk(payload: dict, seed: int) -> dict:
 def run_runtime_chunk(payload: dict, seed: int) -> dict:
     """Table V partial: per-instance wall-clock for the chunk."""
     _, subset, result = _run_chunk(payload, seed)
-    train_s = (result.explanations[0].meta.get("train_seconds")
+    train_s = (result.explanations[0].meta.get("perf", {}).get("train_seconds")
                if result.explanations else None)
     return {"method": payload["method"], "n": len(subset),
             "per_instance": [float(t) for t in result.per_instance],

@@ -19,9 +19,14 @@ and returns ``{job_id: record}``. Guarantees:
   debuggable under pdb. Timeouts are *not* enforced inline: preempting
   arbitrary in-process Python is not possible; use ``workers >= 2``.
 * **Truthful instrumentation** — each worker ships the delta of its
-  :data:`repro.instrumentation.PERF` counters with every result and the
-  parent merges it, so engine counters and stage timings reflect the
-  whole run, not just the parent process.
+  :data:`repro.obs.PERF` counters with every result and the parent
+  merges it, so engine counters and stage timings reflect the whole run,
+  not just the parent process. When the parent's tracer is enabled, each
+  task additionally carries the active trace id; workers record spans
+  under a per-job ``job`` span, :meth:`~repro.obs.Tracer.drain` their
+  buffer into the result envelope, and the parent
+  :meth:`~repro.obs.Tracer.absorb`\\ s it — so a ``--jobs N`` run yields
+  one merged trace spanning every worker process.
 
 Workers are started with the ``fork`` method when the platform offers it
 (inheriting warmed dataset/model contexts and runtime-registered
@@ -37,7 +42,7 @@ import time
 import traceback
 from pathlib import Path
 
-from ..instrumentation import PERF
+from ..obs import PERF, TRACER, span
 from .execute import execute_job
 from .journal import Journal, load_journal
 from .plan import JobSpec
@@ -55,28 +60,54 @@ def _error_info(exc: BaseException) -> dict:
             "traceback": tb[-_TRACEBACK_LIMIT:]}
 
 
+def _job_span_attrs(job: JobSpec) -> dict:
+    attrs = {"job_id": job.id}
+    method = job.payload.get("method")
+    if method:
+        attrs["method"] = method
+    return attrs
+
+
 def _worker_main(task_q, result_q) -> None:
     """Worker loop: pull job dicts, execute, push result envelopes.
 
     The attempt number is echoed back so the parent can discard stale
     envelopes (a job that finished just as its timeout kill landed, then
-    got re-queued).
+    got re-queued). Tasks carrying a ``trace`` config enable this
+    process's tracer under the parent's trace id; the buffer is drained
+    into every envelope so spans ship incrementally, like PERF deltas.
     """
+    # A forked worker inherits the parent tracer's buffered spans; drop
+    # them or they would ship back and duplicate the parent's records.
+    TRACER.reset()
     while True:
         item = task_q.get()
         if item is None:
             return
         job = JobSpec.from_dict(item["job"])
+        trace_cfg = item.get("trace")
+        if trace_cfg:
+            if not TRACER.enabled or TRACER.trace_id != trace_cfg["trace_id"]:
+                TRACER.reset()
+                TRACER.enable(trace_id=trace_cfg["trace_id"])
+        elif TRACER.enabled:  # fork-inherited enable with tracing now off
+            TRACER.disable()
         before = PERF.snapshot()
         t0 = time.perf_counter()
         try:
-            result = execute_job(job)
+            if trace_cfg:
+                with TRACER.start_span("job", _job_span_attrs(job)):
+                    result = execute_job(job)
+            else:
+                result = execute_job(job)
             envelope = {"job_id": job.id, "ok": True, "result": result}
         except Exception as exc:  # noqa: BLE001 — isolation is the point
             envelope = {"job_id": job.id, "ok": False, "error": _error_info(exc)}
         envelope["attempt"] = item["attempt"]
         envelope["seconds"] = time.perf_counter() - t0
         envelope["perf"] = PERF.delta(before, PERF.snapshot())
+        if trace_cfg:
+            envelope["trace"] = TRACER.drain()
         result_q.put(envelope)
 
 
@@ -102,7 +133,10 @@ class _WorkerSlot:
         self.attempt = attempt
         self.started = time.monotonic()
         self.deadline = (self.started + timeout) if timeout else None
-        self.task_q.put({"job": job.to_dict(), "attempt": attempt})
+        item = {"job": job.to_dict(), "attempt": attempt}
+        if TRACER.enabled:
+            item["trace"] = {"trace_id": TRACER.trace_id}
+        self.task_q.put(item)
 
     def release(self) -> None:
         self.job = None
@@ -193,7 +227,8 @@ def _run_inline(jobs: list[JobSpec], retries: int, backoff: float, emit) -> None
             before = PERF.snapshot()
             t0 = time.perf_counter()
             try:
-                result = execute_job(job)
+                with span("job", **_job_span_attrs(job)):
+                    result = execute_job(job)
             except Exception as exc:  # noqa: BLE001 — capture, don't abort the run
                 record = {"id": job.id, "status": "failed", "attempt": attempt,
                           "seconds": time.perf_counter() - t0,
@@ -266,6 +301,7 @@ def _run_pool(jobs: list[JobSpec], workers: int, timeout: float | None,
                              and s.attempt == envelope.get("attempt")), None)
                 if slot is not None:
                     PERF.merge(envelope.get("perf", {}))
+                    TRACER.absorb(envelope.get("trace"))
                     if envelope["ok"]:
                         emit({"id": slot.job.id, "status": "ok",
                               "attempt": slot.attempt,

@@ -7,8 +7,6 @@ crossovers included — without a plotting stack.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..errors import EvaluationError
 
 __all__ = ["render_curves", "render_fidelity_result"]

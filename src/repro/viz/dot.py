@@ -8,8 +8,6 @@ from __future__ import annotations
 
 from pathlib import Path
 
-import numpy as np
-
 from ..explain.base import Explanation
 from ..graph import Graph
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.datasets import ba_2motifs, ba_shapes, load_dataset, mutag
+from repro.datasets import ba_2motifs, ba_shapes, mutag
 from repro.graph import Graph
 from repro.nn import Trainer, build_model
 

@@ -6,7 +6,7 @@ import pytest
 from repro.autograd import Tensor
 from repro.core import Revelio
 from repro.errors import ExplainerError
-from repro.eval import Instance, class_probability, fidelity_minus, fidelity_plus
+from repro.eval import Instance, fidelity_minus
 from repro.flows import enumerate_flows
 
 

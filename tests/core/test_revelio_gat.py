@@ -34,7 +34,7 @@ class TestRevelioOnGAT:
     def test_topk_on_gat(self, gat_setup):
         ds, model = gat_setup
         e = TopKRevelio(model, k=8, epochs=10, seed=0).explain(ds.graph, target=5)
-        assert e.meta["k"] == 8
+        assert e.meta["params"]["k"] == 8
 
     def test_counterfactual_on_gat(self, gat_setup):
         ds, model = gat_setup

@@ -84,7 +84,7 @@ class TestTopKRevelio:
         topk = TopKRevelio(node_model, k=8, epochs=30, seed=0)
         e = topk.explain(mini_ba_shapes.graph, target=good_motif_node)
         assert e.method == "revelio_topk"
-        assert e.meta["k"] == 8
+        assert e.meta["params"]["k"] == 8
         assert e.meta["selected_flows"].shape == (8,)
         assert e.flow_scores.shape[0] == e.meta["num_flows"]
 
@@ -102,7 +102,7 @@ class TestTopKRevelio:
                                                   good_motif_node):
         topk = TopKRevelio(node_model, k=10**6, epochs=15, seed=0)
         e = topk.explain(mini_ba_shapes.graph, target=good_motif_node)
-        assert e.meta["k"] == e.meta["num_flows"]
+        assert e.meta["params"]["k"] == e.meta["num_flows"]
 
     def test_counterfactual_mode(self, node_model, mini_ba_shapes, good_motif_node):
         topk = TopKRevelio(node_model, k=8, epochs=15, seed=0)

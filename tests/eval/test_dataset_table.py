@@ -1,6 +1,5 @@
 """Table III runner and the CLI report command."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main

@@ -1,6 +1,5 @@
 """Experiment runners (one per paper artifact) on tiny configurations."""
 
-import numpy as np
 import pytest
 
 from repro.eval import (

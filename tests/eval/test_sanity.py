@@ -1,7 +1,6 @@
 """Model-randomization sanity checks."""
 
 import numpy as np
-import pytest
 
 from repro.core import Revelio
 from repro.eval import model_randomization_check, randomize_model

@@ -7,7 +7,6 @@ from repro.errors import ExplainerError
 from repro.explain import EXPLAINERS, Explanation, make_explainer
 from repro.explain.base import Explainer
 from repro.flows import enumerate_flows
-from repro.graph import Graph
 
 
 class TestExplanation:

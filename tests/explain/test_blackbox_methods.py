@@ -11,7 +11,7 @@ class TestPGMExplainer:
         e = PGMExplainer(node_model, num_samples=30, seed=0).explain(
             mini_ba_shapes.graph, target=good_motif_node)
         assert e.edge_scores.shape == (mini_ba_shapes.graph.num_edges,)
-        assert e.meta["num_samples"] == 30
+        assert e.meta["params"]["num_samples"] == 30
 
     def test_graph_explanation(self, graph_model, mini_mutag):
         e = PGMExplainer(graph_model, num_samples=30, seed=0).explain(mini_mutag.graphs[0])

@@ -6,7 +6,6 @@ down to the computational subgraph; explaining that drifted class would
 make fidelity evaluation measure the wrong thing.
 """
 
-import numpy as np
 import pytest
 
 from repro.explain import make_explainer

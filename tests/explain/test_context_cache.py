@@ -52,3 +52,19 @@ def test_disabled_context_cache(mini_ba_shapes, node_model):
         b = expl.node_context(g, node)
     assert a is not b
     assert len(CONTEXT_CACHE) == 0
+
+
+def test_disabled_context_cache_restores_on_raise(mini_ba_shapes, node_model):
+    from repro.explain.base import _CONTEXT_CACHE_ENABLED
+
+    assert _CONTEXT_CACHE_ENABLED[0]
+    with pytest.raises(RuntimeError):
+        with context_cache_disabled():
+            assert not _CONTEXT_CACHE_ENABLED[0]
+            raise RuntimeError("body blew up")
+    assert _CONTEXT_CACHE_ENABLED[0]
+    # and caching actually works again afterwards
+    g = mini_ba_shapes.graph
+    node = int(mini_ba_shapes.motif_nodes[0])
+    expl = RandomExplainer(node_model)
+    assert expl.node_context(g, node) is expl.node_context(g, node)

@@ -1,7 +1,6 @@
 """GNNExplainer's optional node-feature mask (original method's full form)."""
 
 import numpy as np
-import pytest
 
 from repro.explain import GNNExplainer
 

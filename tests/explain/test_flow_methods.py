@@ -129,4 +129,4 @@ class TestGNNLRP:
                                          good_motif_node):
         e = GNNLRP(node_model).explain(mini_ba_shapes.graph, target=good_motif_node)
         full_cost = e.flow_index.num_flows * 2 ** node_model.num_layers
-        assert e.meta["stencil_evals"] <= full_cost
+        assert e.meta["perf"]["stencil_evals"] <= full_cost

@@ -1,7 +1,6 @@
 """GradCAM and DeepLIFT: fast gradient baselines."""
 
 import numpy as np
-import pytest
 
 from repro.explain import DeepLIFT, GradCAM
 

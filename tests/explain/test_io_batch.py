@@ -6,6 +6,7 @@ import pytest
 from repro.errors import ExplainerError
 from repro.eval import Instance
 from repro.explain import (
+    Explanation,
     RandomExplainer,
     explain_instances,
     load_explanation,
@@ -54,7 +55,7 @@ class TestExplanationIO:
             mini_mutag.graphs[0])
         save_explanation(e, tmp_path / "e.npz")
         back = load_explanation(tmp_path / "e.npz")
-        assert back.meta["epochs"] == 5
+        assert back.meta["params"]["epochs"] == 5
 
 
 class TestBatchExplain:
@@ -168,3 +169,34 @@ class TestLayerEdgeScores:
         e = gm.explain(g)
         per_layer = e.edge_scores_at_layer(1)
         assert per_layer.shape == (g.num_edges,)
+
+    # The three mapping branches, pinned on synthetic explanations: a
+    # flow_index truncates to its edge count, context_edge_positions
+    # truncate to the context's data edges, and an unmappable shape
+    # mismatch raises instead of silently truncating.
+    def test_flow_index_branch_truncates_to_flow_edges(self):
+        from repro.flows import FlowIndex
+
+        fi = FlowIndex(nodes=np.zeros((1, 3), dtype=np.int64),
+                       layer_edges=np.zeros((1, 2), dtype=np.int64),
+                       num_layers=2, num_edges=4, num_nodes=3, target=0)
+        e = Explanation(edge_scores=np.arange(4, dtype=float),
+                        predicted_class=0, method="synthetic",
+                        layer_edge_scores=np.arange(14, dtype=float).reshape(2, 7),
+                        flow_index=fi)
+        np.testing.assert_array_equal(e.edge_scores_at_layer(1),
+                                      [0.0, 1.0, 2.0, 3.0])
+
+    def test_context_positions_branch(self):
+        e = Explanation(edge_scores=np.arange(10, dtype=float),
+                        predicted_class=0, method="synthetic",
+                        layer_edge_scores=np.arange(6, dtype=float).reshape(2, 3),
+                        context_edge_positions=np.array([4, 7]))
+        np.testing.assert_array_equal(e.edge_scores_at_layer(2), [3.0, 4.0])
+
+    def test_unmappable_shape_mismatch_raises(self):
+        e = Explanation(edge_scores=np.arange(10, dtype=float),
+                        predicted_class=0, method="synthetic",
+                        layer_edge_scores=np.arange(6, dtype=float).reshape(2, 3))
+        with pytest.raises(ExplainerError, match="layer scores cover 3 edges"):
+            e.edge_scores_at_layer(1)

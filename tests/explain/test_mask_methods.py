@@ -55,7 +55,7 @@ class TestPGExplainer:
         expl.fit(instances)
         e = expl.explain(mini_ba_shapes.graph, target=good_motif_node)
         assert e.edge_scores.shape == (mini_ba_shapes.graph.num_edges,)
-        assert e.meta["train_seconds"] > 0
+        assert e.meta["perf"]["train_seconds"] > 0
 
     def test_fit_then_explain_graph(self, graph_model, mini_mutag):
         expl = PGExplainer(graph_model, epochs=10)

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ExplainerError
 from repro.explain import RelevantWalks
-from repro.flows import count_flows, enumerate_flows
+from repro.flows import enumerate_flows
 
 
 class TestRelevantWalks:
@@ -36,7 +36,6 @@ class TestRelevantWalks:
     def test_top_walk_is_global_argmax(self, node_model, mini_ba_shapes,
                                        good_motif_node):
         """The DP's best walk must match brute-force over all flows."""
-        from repro.autograd import Tensor, log_softmax
 
         expl = RelevantWalks(node_model, k=1)
         ctx = expl.node_context(mini_ba_shapes.graph, good_motif_node)

@@ -5,7 +5,7 @@ import pytest
 
 from repro.autograd import Tensor
 from repro.errors import FlowError
-from repro.flows import FlowIndex, count_flows, enumerate_flows
+from repro.flows import count_flows, enumerate_flows
 from repro.graph import Graph
 
 

@@ -30,7 +30,6 @@ def manual_gcn(conv: GCNConv, graph: Graph) -> np.ndarray:
 
 def manual_gin(conv: GINConv, graph: Graph) -> np.ndarray:
     """MLP((1 + eps) x_j + Σ_{i -> j} x_i)."""
-    n = graph.num_nodes
     agg = np.zeros_like(graph.x)
     for u, v in zip(graph.src, graph.dst):
         agg[v] += graph.x[u]

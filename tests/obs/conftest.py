@@ -1,0 +1,13 @@
+import pytest
+
+from repro.obs import TRACER
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Every obs test starts and ends with a disabled, empty global tracer."""
+    TRACER.disable()
+    TRACER.reset()
+    yield
+    TRACER.disable()
+    TRACER.reset()

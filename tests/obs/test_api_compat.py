@@ -1,0 +1,117 @@
+"""Keyword-only API redesign: legacy shims warn, unknown kwargs explain."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval import ExperimentConfig, run_fidelity_experiment
+from repro.execution import (
+    ExecutionConfig,
+    accept_legacy_positionals,
+    coerce_execution,
+    reject_unknown_kwargs,
+    resolve_trace_path,
+)
+from repro.explain import make_explainer
+from repro.explain.batch import explain_instances
+
+CFG = ExperimentConfig(scale=0.12, num_instances=2, effort=0.03, seed=0)
+
+
+@pytest.fixture
+def fake_planned(monkeypatch):
+    """Intercept the sharded runner so compat tests never train models."""
+    seen = {}
+
+    def fake(artifact, dataset, conv, methods, *, mode="factual", config=None,
+             execution=None, **kwargs):
+        seen.update(artifact=artifact, mode=mode, config=config,
+                    execution=execution)
+        return {"rows": [], "curves": {}}
+
+    monkeypatch.setattr("repro.runner.run_planned_experiment", fake)
+    return seen
+
+
+class TestLegacyKwargs:
+    def test_flat_jobs_kwarg_warns_and_routes(self, fake_planned, tmp_path):
+        journal = str(tmp_path / "fid.jsonl")
+        with pytest.warns(DeprecationWarning, match="execution=ExecutionConfig"):
+            run_fidelity_experiment("tree_cycles", "gcn", ("gradcam",),
+                                    config=CFG, jobs=2, resume=journal)
+        execution = fake_planned["execution"]
+        assert execution.jobs == 2
+        assert execution.resume == journal
+
+    def test_flat_kwargs_overlay_explicit_execution(self, fake_planned):
+        base = ExecutionConfig(jobs=1, retries=3)
+        with pytest.warns(DeprecationWarning):
+            run_fidelity_experiment("tree_cycles", "gcn", ("gradcam",),
+                                    config=CFG, execution=base, jobs=4)
+        execution = fake_planned["execution"]
+        assert execution.jobs == 4      # legacy kwarg wins over the object
+        assert execution.retries == 3   # untouched fields survive
+
+    def test_legacy_positional_mode_and_config_warn(self, fake_planned):
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            run_fidelity_experiment("tree_cycles", "gcn", ("gradcam",),
+                                    "counterfactual", CFG,
+                                    execution=ExecutionConfig(jobs=1))
+        assert fake_planned["mode"] == "counterfactual"
+        assert fake_planned["config"] is CFG
+
+    def test_too_many_positionals_is_type_error(self):
+        with pytest.raises(TypeError, match="at most 2"):
+            run_fidelity_experiment("tree_cycles", "gcn", ("gradcam",),
+                                    "factual", CFG, "extra")
+
+
+class TestUnknownKwargs:
+    def test_driver_suggests_nearest_option(self):
+        with pytest.raises(ReproError, match="did you mean 'jobs'"):
+            run_fidelity_experiment("tree_cycles", "gcn", ("gradcam",),
+                                    config=CFG, job=2)
+
+    def test_driver_lists_options_when_no_match(self):
+        with pytest.raises(ReproError, match="valid options"):
+            run_fidelity_experiment("tree_cycles", "gcn", ("gradcam",),
+                                    config=CFG, zzz=1)
+
+    def test_make_explainer_suggests_constructor_kwarg(self):
+        with pytest.raises(ReproError, match="did you mean 'epochs'"):
+            make_explainer("gnnexplainer", None, epoch=5)
+
+    def test_explain_instances_suggests_mode(self):
+        with pytest.raises(ReproError, match="did you mean 'mode'"):
+            explain_instances(None, [], mod="factual")
+
+
+class TestHelpers:
+    def test_reject_unknown_noop_on_empty(self):
+        reject_unknown_kwargs("f", {}, ("a", "b"))  # must not raise
+
+    def test_coerce_execution_no_legacy_no_warning(self, recwarn):
+        config = coerce_execution("f", ExecutionConfig(jobs=2), {})
+        assert config.jobs == 2
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_accept_legacy_positionals_empty_is_silent(self, recwarn):
+        assert accept_legacy_positionals("f", (), ("mode",)) == {}
+        assert not recwarn.list
+
+    def test_resolve_trace_path(self, tmp_path):
+        assert resolve_trace_path(None, None, "t.jsonl") is None
+        assert resolve_trace_path(False, None, "t.jsonl") is None
+        assert str(resolve_trace_path("runs/x.jsonl", None, "t.jsonl")) == \
+            "runs/x.jsonl"
+        journal = str(tmp_path / "runs" / "fid.jsonl")
+        resolved = resolve_trace_path(True, journal, "t.jsonl")
+        assert resolved == tmp_path / "runs" / "t.jsonl"
+        assert resolve_trace_path(True, None, "t.jsonl").name == "t.jsonl"
+
+    def test_execution_config_sharded_property(self):
+        assert not ExecutionConfig().sharded
+        assert ExecutionConfig(jobs=2).sharded
+        assert ExecutionConfig(resume="runs/j.jsonl").sharded
+        assert ExecutionConfig().workers == 1
+        assert ExecutionConfig(jobs=3).workers == 3

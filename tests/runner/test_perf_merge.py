@@ -46,6 +46,43 @@ class TestMerge:
         assert c.single_forwards == 2
         assert c.stage_seconds == {}
 
+    def test_concurrent_worker_deltas_fold_exactly(self):
+        # Each "worker" produces its own delta (snapshot → work → delta, as
+        # the pool protocol does) on a private counter set; merging all the
+        # deltas into the parent must account for every unit of work and
+        # every stage timer, regardless of interleaving.
+        import threading
+
+        parent = PerfCounters()
+        parent.single_forwards = 1
+        deltas = [None] * 8
+
+        def work(i):
+            local = PerfCounters()
+            before = local.snapshot()
+            for _ in range(50):
+                local.single_forwards += 1
+                local.batched_rows += i
+                with local.stage("explain"):
+                    pass
+                with local.stage(f"stage_{i % 2}"):
+                    pass
+            deltas[i] = PerfCounters.delta(before, local.snapshot())
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for d in deltas:
+            parent.merge(d)
+        assert parent.single_forwards == 1 + 8 * 50
+        assert parent.batched_rows == 50 * sum(range(8))
+        assert set(parent.stage_seconds) == {"explain", "stage_0", "stage_1"}
+        # 8 workers x 50 timed blocks each landed in the shared stage.
+        assert parent.stage_seconds["explain"] == pytest.approx(
+            sum(d["stage_seconds"]["explain"] for d in deltas))
+
 
 @pytest.mark.skipif("fork" not in mp.get_all_start_methods(),
                     reason="requires fork start method")

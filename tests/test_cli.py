@@ -1,6 +1,5 @@
 """Command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -80,13 +79,13 @@ class TestCommands:
         assert "revelio" in out
         assert "s=0.5" in out
 
-    def test_experiment_sharded_forwards_runner_kwargs(self, capsys, monkeypatch,
-                                                       tmp_path):
+    def test_experiment_sharded_forwards_execution_config(self, capsys, monkeypatch,
+                                                          tmp_path):
         seen = {}
 
-        def fake_runner(dataset, model, methods, mode="factual", config=None,
-                        **kwargs):
-            seen.update(kwargs, dataset=dataset)
+        def fake_runner(dataset, model, methods, *, mode="factual", config=None,
+                        execution=None, **kwargs):
+            seen.update(execution=execution, dataset=dataset)
             return {"rows": ["header", "row"], "curves": {}, "failures": {}}
 
         monkeypatch.setattr("repro.cli.run_fidelity_experiment", fake_runner)
@@ -94,25 +93,61 @@ class TestCommands:
         code = main(["experiment", "fidelity", "-d", "tree_cycles", "-m", "gcn",
                      "--jobs", "4", "--resume", journal, "--timeout", "9"])
         assert code == 0
-        assert seen["jobs"] == 4
-        assert seen["resume"] == journal
-        assert seen["timeout"] == 9.0
-        assert seen["retries"] == 1
+        execution = seen["execution"]
+        assert execution.jobs == 4
+        assert execution.resume == journal
+        assert execution.timeout == 9.0
+        assert execution.retries == 1
+        assert not execution.trace
 
     def test_resume_alone_implies_inline_jobs(self, monkeypatch, tmp_path):
         seen = {}
 
-        def fake_runner(dataset, model, methods, mode="factual", config=None,
-                        **kwargs):
-            seen.update(kwargs)
+        def fake_runner(dataset, model, methods, *, mode="factual", config=None,
+                        execution=None, **kwargs):
+            seen.update(execution=execution)
             return {"rows": [], "curves": {}, "failures": {}}
 
         monkeypatch.setattr("repro.cli.run_fidelity_experiment", fake_runner)
         journal = str(tmp_path / "fid.jsonl")
         assert main(["experiment", "fidelity", "-d", "tree_cycles", "-m", "gcn",
                      "--resume", journal]) == 0
-        assert seen["jobs"] == 1
-        assert seen["resume"] == journal
+        assert seen["execution"].jobs == 1
+        assert seen["execution"].resume == journal
+
+    def test_trace_flag_bare_and_with_path(self, monkeypatch):
+        seen = {}
+
+        def fake_runner(dataset, model, methods, *, mode="factual", config=None,
+                        execution=None, **kwargs):
+            seen.update(execution=execution)
+            return {"rows": [], "curves": {}, "failures": {}}
+
+        monkeypatch.setattr("repro.cli.run_fidelity_experiment", fake_runner)
+        assert main(["experiment", "fidelity", "-d", "tree_cycles", "-m", "gcn",
+                     "--trace"]) == 0
+        assert seen["execution"].trace is True
+        assert main(["experiment", "fidelity", "-d", "tree_cycles", "-m", "gcn",
+                     "--trace", "runs/t.jsonl"]) == 0
+        assert seen["execution"].trace == "runs/t.jsonl"
+
+    def test_trace_summarize_command(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "t.jsonl"
+        records = [
+            {"name": "explain", "trace_id": "t", "span_id": "a", "parent_id": None,
+             "pid": 1, "start": 0.0, "seconds": 0.5, "attrs": {"method": "revelio"}},
+            {"name": "flow_enumerate", "trace_id": "t", "span_id": "b",
+             "parent_id": "a", "pid": 2, "start": 0.1, "seconds": 0.2,
+             "attrs": {"method": "revelio"}},
+        ]
+        trace.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "revelio" in out
+        assert "flow_enumerate" in out
+        assert "2 processes" in out
 
     def test_jobs_rejected_for_unsupported_artifact(self, capsys, monkeypatch):
         monkeypatch.setattr("repro.cli.run_alpha_sensitivity",
