@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ShapeError
+from ..errors import AutogradError, ShapeError
 from .tensor import Tensor, as_tensor
 
 __all__ = [
@@ -71,7 +71,7 @@ def nll_loss(log_probs: Tensor, labels: np.ndarray, reduction: str = "mean") -> 
         return loss.sum()
     if reduction == "none":
         return loss
-    raise ValueError(f"unknown reduction {reduction!r}")
+    raise AutogradError(f"unknown reduction {reduction!r}")
 
 
 def cross_entropy(logits: Tensor, labels: np.ndarray, reduction: str = "mean") -> Tensor:
@@ -123,6 +123,6 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
     if not training or p <= 0.0:
         return x
     if p >= 1.0:
-        raise ValueError("dropout probability must be < 1")
+        raise AutogradError("dropout probability must be < 1")
     mask = (rng.random(x.shape) >= p) / (1.0 - p)
     return x * Tensor(mask)

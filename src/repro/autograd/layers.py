@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import AutogradError
 from ..rng import ensure_rng
 from .init import glorot_uniform, zeros
 from .module import Module, Parameter
@@ -106,7 +107,7 @@ class MLP(Module):
                  final_activation: Module | None = None):
         super().__init__()
         if len(dims) < 2:
-            raise ValueError("MLP needs at least input and output dims")
+            raise AutogradError("MLP needs at least input and output dims")
         rng = ensure_rng(rng)
         layers: list[Module] = []
         for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):

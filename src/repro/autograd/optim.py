@@ -11,6 +11,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..errors import AutogradError
 from .tensor import Tensor
 
 __all__ = ["Optimizer", "SGD", "Adam"]
@@ -22,7 +23,7 @@ class Optimizer:
     def __init__(self, params: Iterable[Tensor], lr: float):
         self.params = [p for p in params]
         if not self.params:
-            raise ValueError("optimizer received no parameters")
+            raise AutogradError("optimizer received no parameters")
         self.lr = float(lr)
 
     def zero_grad(self) -> None:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import math
 
+from ..errors import AutogradError
 from .optim import Optimizer
 
 __all__ = ["Scheduler", "StepLR", "CosineAnnealingLR", "LinearWarmup"]
@@ -39,7 +40,7 @@ class StepLR(Scheduler):
     def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
         super().__init__(optimizer)
         if step_size <= 0:
-            raise ValueError("step_size must be positive")
+            raise AutogradError("step_size must be positive")
         self.step_size = step_size
         self.gamma = gamma
 
@@ -53,7 +54,7 @@ class CosineAnnealingLR(Scheduler):
     def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0):
         super().__init__(optimizer)
         if total_epochs <= 0:
-            raise ValueError("total_epochs must be positive")
+            raise AutogradError("total_epochs must be positive")
         self.total_epochs = total_epochs
         self.min_lr = min_lr
 
@@ -74,7 +75,7 @@ class LinearWarmup(Scheduler):
                  after: Scheduler | None = None):
         super().__init__(optimizer)
         if warmup_epochs <= 0:
-            raise ValueError("warmup_epochs must be positive")
+            raise AutogradError("warmup_epochs must be positive")
         self.warmup_epochs = warmup_epochs
         self.after = after
 

@@ -1,0 +1,53 @@
+"""repro.checks — repo-aware static analysis for the reproduction.
+
+An AST lint pass that machine-checks the invariants the reproduction's
+claims rest on, in four families:
+
+* **determinism** — no module-global RNG state, no wall-clock seeds, no
+  set-order-sensitive iteration in scoring code (RPR001–RPR003);
+* **error discipline** — no bare/swallowing excepts, library raises stay
+  inside the ``ReproError`` hierarchy (RPR010–RPR012);
+* **API contracts** — public explain/eval entry points keyword-only, no
+  re-exploded ``ExecutionConfig`` flat kwargs (RPR020–RPR021);
+* **observability conformance** — every span/stage/counter name resolves
+  against the declared registry in :mod:`repro.obs.names`
+  (RPR030–RPR031).
+
+Run as ``repro lint src tests`` (CI gates on it) or through
+:func:`lint_paths` / :func:`run_lint`. Per-line suppression:
+``# repro: noqa[RPR012]`` (with the code — bare ``# repro: noqa``
+suppresses every rule on the line).
+
+The pass is *repo-aware*: rules read the live ``ReproError`` hierarchy,
+the ``ExecutionConfig`` legacy-field table and the ``repro.obs.names``
+registry from the package itself, so extending those automatically
+extends the lint without touching the rules.
+"""
+
+from __future__ import annotations
+
+from .engine import FileContext, LintResult, Violation, collect_files, lint_paths
+from .registry import RULES, Rule, all_rules, register, resolve_codes
+from .report import format_rule_listing, run_lint
+
+# Importing the rule modules registers their rules (stable-code registry).
+from . import api, determinism, discipline, obsconf
+
+__all__ = [
+    "Violation",
+    "FileContext",
+    "LintResult",
+    "lint_paths",
+    "collect_files",
+    "Rule",
+    "RULES",
+    "register",
+    "all_rules",
+    "resolve_codes",
+    "run_lint",
+    "format_rule_listing",
+    "api",
+    "determinism",
+    "discipline",
+    "obsconf",
+]

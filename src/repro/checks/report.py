@@ -1,0 +1,62 @@
+"""Lint output: human one-line-per-finding text and the ``--json`` form.
+
+:func:`run_lint` is the single entry point both the ``repro lint`` CLI
+subcommand and tests call: it resolves the rule selection, lints, prints
+to the given stream, and returns the process exit code (0 clean,
+1 violations, 2 engine/usage errors).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Sequence, TextIO
+
+from ..errors import CheckError
+from .engine import lint_paths
+from .registry import all_rules, resolve_codes
+
+__all__ = ["run_lint", "format_rule_listing"]
+
+
+def format_rule_listing() -> list[str]:
+    """``code  name  rationale`` rows for every registered rule."""
+    rows = []
+    for rule in all_rules():
+        rows.append(f"{rule.code}  {rule.name:<24} {rule.rationale}")
+    return rows
+
+
+def run_lint(paths: Sequence[str], *, select: Sequence[str] | None = None,
+             json_output: bool = False, list_rules: bool = False,
+             stream: TextIO | None = None) -> int:
+    """Lint ``paths`` and print findings; returns the exit code."""
+    out = stream if stream is not None else sys.stdout
+    if list_rules:
+        for row in format_rule_listing():
+            print(row, file=out)
+        return 0
+    try:
+        rules = resolve_codes(select)
+    except CheckError as exc:
+        if json_output:
+            print(json.dumps({"error": str(exc)}), file=out)
+        else:
+            print(f"error: {exc}", file=out)
+        return 2
+    result = lint_paths(paths, rules=rules)
+    if json_output:
+        print(json.dumps(result.to_dict(), indent=2), file=out)
+        return result.exit_code
+    for violation in result.violations:
+        print(violation.format(), file=out)
+    for path, message in result.errors:
+        print(f"{path}: error: {message}", file=out)
+    n = len(result.violations)
+    if result.clean:
+        print(f"{result.files_checked} file(s) clean "
+              f"({len(result.rule_codes)} rules)", file=out)
+    else:
+        print(f"{n} violation(s), {len(result.errors)} error(s) in "
+              f"{result.files_checked} file(s)", file=out)
+    return result.exit_code

@@ -14,6 +14,7 @@ Commands
                                         traced run (merged trace + manifest)
 ``repro trace summarize runs/fid_trace.jsonl``
                                         per-method, per-stage time breakdown
+``repro lint src tests``                repo-aware static analysis (RPRxxx rules)
 """
 
 from __future__ import annotations
@@ -93,6 +94,18 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="per-method, per-stage time breakdown of a trace")
     p_summ.add_argument("path", help="trace JSONL written by a --trace run")
 
+    p_lint = sub.add_parser(
+        "lint", help="run the repro.checks static-analysis rules")
+    p_lint.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories to lint (default: src tests)")
+    p_lint.add_argument("--json", action="store_true", dest="json_output",
+                        help="machine-readable findings on stdout")
+    p_lint.add_argument("--select", default=None, metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(e.g. RPR001,RPR010); default all")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print every registered rule and exit")
+
     p_report = sub.add_parser("report", help="aggregate benchmark artifacts into markdown")
     p_report.add_argument("--results", default="benchmarks/results",
                           help="directory of benchmark artifact files")
@@ -151,6 +164,14 @@ def main(argv: list[str] | None = None) -> int:
             print()
             print(format_top_flows(explanation, k=args.top_flows))
         return 0
+
+    if args.command == "lint":
+        from .checks import run_lint
+
+        select = args.select.split(",") if args.select else None
+        return run_lint(args.paths, select=select,
+                        json_output=args.json_output,
+                        list_rules=args.list_rules)
 
     if args.command == "trace":
         from .obs import summarize_trace

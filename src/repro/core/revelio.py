@@ -41,6 +41,7 @@ from ..flows import FlowIndex, cached_enumerate_flows
 from ..graph import Graph
 from ..nn.models import GNN
 from ..obs import span
+from ..obs.names import SPAN_EPOCH, SPAN_OPTIMIZE
 from ..rng import ensure_rng
 
 __all__ = ["Revelio", "MASK_ACTIVATIONS", "LAYER_WEIGHT_ACTIVATIONS"]
@@ -166,10 +167,10 @@ class Revelio(Explainer):
 
         row = target if target is not None else 0
         losses = []
-        with span("optimize", epochs=self.epochs,
+        with span(SPAN_OPTIMIZE, epochs=self.epochs,
                   num_flows=flow_index.num_flows):
             for _ in range(self.epochs):
-                with span("epoch"):
+                with span(SPAN_EPOCH):
                     optimizer.zero_grad()
                     omega_e = self._layer_edge_scores(masks, w, flow_index)
                     layer_masks = [omega_e[l] for l in range(flow_index.num_layers)]

@@ -42,3 +42,11 @@ class ExplainerError(ReproError):
 
 class EvaluationError(ReproError):
     """Raised for invalid evaluation requests (bad sparsity, empty sets)."""
+
+
+class RunnerError(ReproError):
+    """Raised for invalid experiment plans or unknown job kinds."""
+
+
+class CheckError(ReproError):
+    """Raised for invalid static-analysis requests (unknown rule codes)."""

@@ -18,6 +18,7 @@ from .experiments import (
     COUNTERFACTUAL_METHODS,
     DEFAULT_SPARSITIES,
     FACTUAL_METHODS,
+    ExecutionConfig,
     ExperimentConfig,
     build_instances,
     method_config,
@@ -33,6 +34,7 @@ from .sanity import SanityCheckResult, model_randomization_check, randomize_mode
 from .timing import TimingResult, time_explainer
 
 __all__ = [
+    "ExecutionConfig",
     "ExperimentConfig",
     "build_report",
     "collect_artifacts",

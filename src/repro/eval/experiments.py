@@ -39,6 +39,7 @@ from ..explain.base import Explainer
 from ..nn.models import GNN
 from ..nn.zoo import get_model
 from ..obs import span
+from ..obs.names import SPAN_FIT, SPAN_METHOD
 from ..rng import ensure_rng
 from .auc import mean_explanation_auc
 from .fidelity import Instance, fidelity_curve
@@ -100,7 +101,7 @@ class ExperimentConfig:
         return self.effort if self.effort is not None else _effort()
 
 
-def method_config(method: str, effort: float, alpha: float = 0.05) -> dict:
+def method_config(method: str, effort: float, *, alpha: float = 0.05) -> dict:
     """Per-method constructor kwargs at an effort level.
 
     ``effort=1.0`` reproduces the paper's §V-A settings (500/500/200
@@ -143,7 +144,7 @@ def method_applicable(method: str, dataset_name: str, conv: str) -> bool:
 # ----------------------------------------------------------------------
 # instance construction
 # ----------------------------------------------------------------------
-def build_instances(dataset: NodeDataset | GraphDataset, n: int,
+def build_instances(dataset: NodeDataset | GraphDataset, n: int, *,
                     seed: int = 0, motif_only: bool = False,
                     correct_only: bool = False, model: GNN | None = None) -> list[Instance]:
     """Sample evaluation instances per the paper's protocol.
@@ -188,7 +189,7 @@ def _fit_if_group_method(explainer: Explainer, instances: list[Instance],
     explainer.fit(pairs, mode=mode)
 
 
-def run_explainer(method: str, model: GNN, instances: list[Instance],
+def run_explainer(method: str, model: GNN, instances: list[Instance], *,
                   mode: str = "factual", effort: float | None = None,
                   alpha: float = 0.05, seed: int = 0) -> TimingResult:
     """Instantiate, (group-)fit and run one method over instances."""
@@ -196,7 +197,7 @@ def run_explainer(method: str, model: GNN, instances: list[Instance],
     explainer = make_explainer(method, model, seed=seed,
                                **method_config(method, effort, alpha=alpha))
     if hasattr(explainer, "fit"):
-        with span("fit", method=method):
+        with span(SPAN_FIT, method=method):
             _fit_if_group_method(explainer, instances, mode)
     # Methods without a counterfactual objective reuse factual scores
     # ("we use the original explanations provided by …", §V-B).
@@ -276,7 +277,7 @@ def run_fidelity_experiment(dataset_name: str, conv: str, methods: tuple[str, ..
         for method in methods:
             if not method_applicable(method, dataset_name, conv):
                 continue
-            with span("method", method=method):
+            with span(SPAN_METHOD, method=method):
                 result = run_explainer(method, model, instances, mode=mode,
                                        effort=config.resolved_effort(),
                                        alpha=config.alpha, seed=config.seed)
@@ -326,7 +327,7 @@ def run_auc_experiment(dataset_name: str, conv: str, methods: tuple[str, ...],
         for method in methods:
             if not method_applicable(method, dataset_name, conv):
                 continue
-            with span("method", method=method):
+            with span(SPAN_METHOD, method=method):
                 result = run_explainer(method, model, instances, mode=mode,
                                        effort=config.resolved_effort(),
                                        alpha=config.alpha, seed=config.seed)
@@ -364,7 +365,7 @@ def run_runtime_experiment(dataset_name: str, conv: str, methods: tuple[str, ...
         for method in methods:
             if not method_applicable(method, dataset_name, conv):
                 continue
-            with span("method", method=method):
+            with span(SPAN_METHOD, method=method):
                 result = run_explainer(method, model, instances, mode="factual",
                                        effort=config.resolved_effort(),
                                        alpha=config.alpha, seed=config.seed)
@@ -389,7 +390,7 @@ def run_runtime_experiment(dataset_name: str, conv: str, methods: tuple[str, ...
                        config, execution, dataset, body)
 
 
-def run_alpha_sensitivity(dataset_name: str, conv: str,
+def run_alpha_sensitivity(dataset_name: str, conv: str, *,
                           alphas: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
                           mode: str = "factual",
                           config: ExperimentConfig | None = None) -> dict:
@@ -413,7 +414,7 @@ def run_alpha_sensitivity(dataset_name: str, conv: str,
             "alphas": list(alphas), "curves": curves, "rows": rows}
 
 
-def run_dataset_table(dataset_names: tuple[str, ...] | None = None,
+def run_dataset_table(*, dataset_names: tuple[str, ...] | None = None,
                       convs: tuple[str, ...] = ("gcn", "gin", "gat"),
                       config: ExperimentConfig | None = None) -> dict:
     """Table III: dataset statistics and target-model accuracies."""

@@ -24,6 +24,7 @@ from ..explain.base import Explanation
 from ..graph import Graph
 from ..nn.models import GNN
 from ..obs import span
+from ..obs.names import SPAN_FIDELITY_SWEEP
 from .sparsity import (
     explanatory_keep_mask,
     explanatory_subgraph,
@@ -43,7 +44,7 @@ class Instance:
     target: int | None = None
 
 
-def class_probability(model: GNN, graph: Graph, class_idx: int,
+def class_probability(model: GNN, graph: Graph, class_idx: int, *,
                       target: int | None = None) -> float:
     """``P_Φ(class | graph)`` at the target node / for the graph."""
     proba = model.predict_proba(graph)
@@ -85,7 +86,7 @@ def fidelity_plus(model: GNN, instances: list[Instance],
 
 def fidelity_curve(model: GNN, instances: list[Instance],
                    explanations: list[Explanation], sparsities: list[float],
-                   metric: str = "minus", batched: bool = True) -> dict[float, float]:
+                   *, metric: str = "minus", batched: bool = True) -> dict[float, float]:
     """Fidelity over a sparsity grid — one line of Fig. 3 / Fig. 4.
 
     The batched path visits each instance once: ``p_orig`` is computed a
@@ -96,7 +97,7 @@ def fidelity_curve(model: GNN, instances: list[Instance],
     """
     if metric not in ("minus", "plus"):
         raise EvaluationError(f"metric must be 'minus' or 'plus', got {metric!r}")
-    with span("fidelity_sweep", metric=metric, batched=batched,
+    with span(SPAN_FIDELITY_SWEEP, metric=metric, batched=batched,
               num_instances=len(instances)):
         if not batched:
             fn = fidelity_minus if metric == "minus" else fidelity_plus

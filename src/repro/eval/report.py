@@ -59,7 +59,8 @@ def collect_artifacts(results_dir: str | Path) -> list[Artifact]:
     return artifacts
 
 
-def build_report(results_dir: str | Path, title: str = "Revelio reproduction report") -> str:
+def build_report(results_dir: str | Path, *,
+                 title: str = "Revelio reproduction report") -> str:
     """Render all artifacts as one markdown document."""
     artifacts = collect_artifacts(results_dir)
     lines = [f"# {title}", ""]

@@ -47,7 +47,7 @@ class SanityCheckResult:
         )
 
 
-def randomize_model(model: GNN, rng: int | np.random.Generator | None = 0,
+def randomize_model(model: GNN, *, rng: int | np.random.Generator | None = 0,
                     scale: float = 0.5) -> GNN:
     """Return a copy of ``model`` with weights re-drawn from N(0, scale²)."""
     rng = ensure_rng(rng)
@@ -59,7 +59,7 @@ def randomize_model(model: GNN, rng: int | np.random.Generator | None = 0,
 
 
 def model_randomization_check(explainer_factory, model: GNN, graph: Graph,
-                              target: int | None = None, k: int = 10,
+                              *, target: int | None = None, k: int = 10,
                               overlap_threshold: float = 0.6,
                               seed: int = 0) -> SanityCheckResult:
     """Run the Adebayo-style model-randomization test for one method.

@@ -22,7 +22,7 @@ __all__ = ["select_explanatory_edges", "explanatory_keep_mask", "unexplanatory_k
            "explanatory_subgraph", "unexplanatory_subgraph"]
 
 
-def select_explanatory_edges(edge_scores: np.ndarray, sparsity: float,
+def select_explanatory_edges(edge_scores: np.ndarray, sparsity: float, *,
                              candidate_edges: np.ndarray | None = None) -> np.ndarray:
     """Edge indices forming the explanatory set at a sparsity level.
 
@@ -51,14 +51,15 @@ def select_explanatory_edges(edge_scores: np.ndarray, sparsity: float,
 
 
 def explanatory_keep_mask(num_edges: int, edge_scores: np.ndarray, sparsity: float,
-                          candidate_edges: np.ndarray | None = None) -> np.ndarray:
+                          *, candidate_edges: np.ndarray | None = None) -> np.ndarray:
     """Boolean ``(E,)`` retention mask of ``G^(s)``.
 
     Keeps the explanatory candidates plus every edge outside the candidate
     set; the masked-forward engine consumes this directly, and
     :func:`explanatory_subgraph` materializes it as a pruned graph.
     """
-    chosen = select_explanatory_edges(edge_scores, sparsity, candidate_edges)
+    chosen = select_explanatory_edges(edge_scores, sparsity,
+                                      candidate_edges=candidate_edges)
     keep = np.ones(num_edges, dtype=bool)
     if candidate_edges is None:
         keep[:] = False
@@ -69,26 +70,29 @@ def explanatory_keep_mask(num_edges: int, edge_scores: np.ndarray, sparsity: flo
 
 
 def unexplanatory_keep_mask(num_edges: int, edge_scores: np.ndarray, sparsity: float,
-                            candidate_edges: np.ndarray | None = None) -> np.ndarray:
+                            *, candidate_edges: np.ndarray | None = None) -> np.ndarray:
     """Boolean ``(E,)`` retention mask of ``G^(s̄)``."""
-    chosen = select_explanatory_edges(edge_scores, sparsity, candidate_edges)
+    chosen = select_explanatory_edges(edge_scores, sparsity,
+                                      candidate_edges=candidate_edges)
     keep = np.ones(num_edges, dtype=bool)
     keep[chosen] = False
     return keep
 
 
 def explanatory_subgraph(graph: Graph, edge_scores: np.ndarray, sparsity: float,
-                         candidate_edges: np.ndarray | None = None) -> Graph:
+                         *, candidate_edges: np.ndarray | None = None) -> Graph:
     """``G^(s)``: keep explanatory edges, drop the other candidates.
 
     Edges outside ``candidate_edges`` are always retained.
     """
-    keep = explanatory_keep_mask(graph.num_edges, edge_scores, sparsity, candidate_edges)
+    keep = explanatory_keep_mask(graph.num_edges, edge_scores, sparsity,
+                                 candidate_edges=candidate_edges)
     return graph.with_edges(keep)
 
 
 def unexplanatory_subgraph(graph: Graph, edge_scores: np.ndarray, sparsity: float,
-                           candidate_edges: np.ndarray | None = None) -> Graph:
+                           *, candidate_edges: np.ndarray | None = None) -> Graph:
     """``G^(s̄)``: remove the explanatory edges, keep everything else."""
-    keep = unexplanatory_keep_mask(graph.num_edges, edge_scores, sparsity, candidate_edges)
+    keep = unexplanatory_keep_mask(graph.num_edges, edge_scores, sparsity,
+                                   candidate_edges=candidate_edges)
     return graph.with_edges(keep)

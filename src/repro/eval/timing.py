@@ -48,7 +48,7 @@ class TimingResult:
         )
 
 
-def time_explainer(explainer: Explainer, instances: list[Instance],
+def time_explainer(explainer: Explainer, instances: list[Instance], *,
                    mode: str = "factual") -> TimingResult:
     """Explain every instance, recording wall-clock per call."""
     per_instance = []

@@ -151,7 +151,9 @@ def accept_legacy_positionals(func_name: str, legacy_args: tuple,
     if not legacy_args:
         return {}
     if len(legacy_args) > len(names):
-        raise TypeError(
+        # Mirrors Python's own too-many-positionals TypeError (pinned by
+        # tests/obs/test_api_compat.py).
+        raise TypeError(  # repro: noqa[RPR012]
             f"{func_name}() takes at most {len(names)} optional positional "
             f"argument{'s' if len(names) != 1 else ''} "
             f"({', '.join(names)}); got {len(legacy_args)}")

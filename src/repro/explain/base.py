@@ -32,6 +32,7 @@ from ..flows.cache import LRUCache
 from ..graph import Graph, induced_subgraph, k_hop_subgraph
 from ..nn.models import GNN
 from ..obs import PERF, span
+from ..obs.names import SPAN_CONTEXT_EXTRACT, SPAN_EXPLAIN
 
 __all__ = ["Explanation", "Explainer", "NodeContext", "MODES",
            "CONTEXT_CACHE", "context_cache_disabled", "clear_context_cache"]
@@ -225,7 +226,7 @@ class Explainer:
         """
         if mode not in MODES:
             raise ExplainerError(f"unknown mode {mode!r}; expected one of {MODES}")
-        with span("explain", method=self.name, mode=mode) as sp:
+        with span(SPAN_EXPLAIN, method=self.name, mode=mode) as sp:
             if self.model.task == "node":
                 if target is None:
                     raise ExplainerError("node-classification explanation requires a target node")
@@ -258,13 +259,13 @@ class Explainer:
         the returned context as read-only (all in-tree consumers do).
         """
         if not _CONTEXT_CACHE_ENABLED[0]:
-            with span("context_extract", node=int(node)):
+            with span(SPAN_CONTEXT_EXTRACT, node=int(node)):
                 return self._extract_context(graph, node)
         x_hash = hashlib.sha1(np.ascontiguousarray(graph.x).tobytes()).hexdigest()
         key = (graph_fingerprint(graph), x_hash, self.model.num_layers, int(node))
         context = CONTEXT_CACHE.get(key)
         if context is None:
-            with span("context_extract", node=int(node)):
+            with span(SPAN_CONTEXT_EXTRACT, node=int(node)):
                 context = self._extract_context(graph, node)
             CONTEXT_CACHE.put(key, context)
         else:

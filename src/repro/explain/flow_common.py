@@ -46,7 +46,7 @@ def masked_probability(model: GNN, graph: Graph, layer_masks: np.ndarray,
 
 
 def masked_probability_batch(model: GNN, graph: Graph, mask_stack: np.ndarray,
-                             class_idx: int, target: int | None,
+                             class_idx: int, target: int | None, *,
                              structural: bool = False) -> np.ndarray:
     """Vectorized :func:`masked_probability` over a stack of mask sets.
 

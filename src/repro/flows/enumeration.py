@@ -24,6 +24,7 @@ from ..errors import FlowError
 from ..graph import Graph
 from ..nn.message_passing import augment_edges, num_layer_edges
 from ..obs import PERF, span
+from ..obs.names import SPAN_FLOW_ENUMERATE
 
 __all__ = ["FlowIndex", "enumerate_flows", "count_flows"]
 
@@ -255,7 +256,7 @@ def enumerate_flows(graph: Graph, num_layers: int, target: int | None = None,
         raise FlowError(f"target {target} out of range")
 
     PERF.flow_enumerations += 1
-    with span("flow_enumerate", num_layers=num_layers) as sp:
+    with span(SPAN_FLOW_ENUMERATE, num_layers=num_layers) as sp:
         index = _enumerate(graph, num_layers, target, max_flows)
         if sp is not None:
             sp.set(num_flows=index.num_flows)

@@ -15,6 +15,7 @@ from ..autograd import Linear, Module, Tensor, log_softmax, no_grad, softmax
 from ..errors import ModelError, ShapeError
 from ..graph import Graph, GraphBatch
 from ..obs import PERF, span
+from ..obs.names import SPAN_MASKED_FORWARD_BATCH, STAGE_MASKED_FORWARD_BATCH
 from ..rng import ensure_rng
 from .gat import GATConv
 from .gcn import GCNConv
@@ -215,8 +216,8 @@ class GNN(Module):
         PERF.batched_forwards += 1
         PERF.batched_rows += B
 
-        with PERF.stage("masked_forward_batch"), \
-                span("masked_forward_batch", rows=B):
+        with PERF.stage(STAGE_MASKED_FORWARD_BATCH), \
+                span(SPAN_MASKED_FORWARD_BATCH, rows=B):
             # The engine runs node-major — hidden state (N, B, F) — so every
             # scatter is a zero-copy CSR matmul and every projection a single
             # GEMM (see repro.nn.batched). Only the final logits transpose

@@ -15,6 +15,7 @@ Both ship deltas across the worker pool (``PERF.merge`` /
 dataset fingerprint into one reproduction recipe.
 """
 
+from . import names
 from .counters import PERF, PerfCounters, perf_snapshot, reset_perf
 from .manifest import (
     RunManifest,
@@ -39,6 +40,7 @@ from .trace import (
 )
 
 __all__ = [
+    "names",
     "PERF",
     "PerfCounters",
     "perf_snapshot",

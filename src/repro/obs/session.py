@@ -13,6 +13,7 @@ from pathlib import Path
 
 from .counters import PERF
 from .manifest import build_manifest
+from .names import SPAN_EXPERIMENT
 from .trace import TRACER, NullSink
 
 __all__ = ["TraceSession"]
@@ -51,7 +52,7 @@ class TraceSession:
         TRACER.reset()
         self.trace_id = TRACER.enable(sink=NullSink())
         self._perf_before = PERF.snapshot()
-        self._root_cm = TRACER.start_span("experiment", {})
+        self._root_cm = TRACER.start_span(SPAN_EXPERIMENT, {})
         self._root_cm.__enter__()
         return self
 

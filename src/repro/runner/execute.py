@@ -17,6 +17,8 @@ from __future__ import annotations
 import importlib
 import time
 
+from ..errors import RunnerError
+
 __all__ = ["EXECUTORS", "register_executor", "execute_job",
            "experiment_context", "clear_context_cache"]
 
@@ -33,7 +35,7 @@ def execute_job(job) -> dict:
     try:
         fn = EXECUTORS[job.kind]
     except KeyError:
-        raise LookupError(f"no executor registered for job kind {job.kind!r}") from None
+        raise RunnerError(f"no executor registered for job kind {job.kind!r}") from None
     return fn(job.payload, job.seed)
 
 

@@ -27,6 +27,8 @@ import hashlib
 import math
 from dataclasses import dataclass, field
 
+from ..errors import RunnerError
+
 __all__ = ["JobSpec", "ExperimentPlan", "derive_seed", "plan_experiment",
            "GROUP_FIT_METHODS", "DEFAULT_CHUNKS"]
 
@@ -124,7 +126,7 @@ def plan_experiment(artifact: str, dataset_name: str, conv: str,
     from ..eval.experiments import ExperimentConfig, method_applicable
 
     if artifact not in ("fidelity", "auc", "runtime"):
-        raise ValueError(f"unplannable artifact {artifact!r}")
+        raise RunnerError(f"unplannable artifact {artifact!r}")
     config = config or ExperimentConfig()
     chunks = chunks if chunks is not None else DEFAULT_CHUNKS
     requested = config.resolved_instances()

@@ -43,6 +43,7 @@ import traceback
 from pathlib import Path
 
 from ..obs import PERF, TRACER, span
+from ..obs.names import SPAN_JOB
 from .execute import execute_job
 from .journal import Journal, load_journal
 from .plan import JobSpec
@@ -96,7 +97,7 @@ def _worker_main(task_q, result_q) -> None:
         t0 = time.perf_counter()
         try:
             if trace_cfg:
-                with TRACER.start_span("job", _job_span_attrs(job)):
+                with TRACER.start_span(SPAN_JOB, _job_span_attrs(job)):
                     result = execute_job(job)
             else:
                 result = execute_job(job)
@@ -227,7 +228,7 @@ def _run_inline(jobs: list[JobSpec], retries: int, backoff: float, emit) -> None
             before = PERF.snapshot()
             t0 = time.perf_counter()
             try:
-                with span("job", **_job_span_attrs(job)):
+                with span(SPAN_JOB, **_job_span_attrs(job)):
                     result = execute_job(job)
             except Exception as exc:  # noqa: BLE001 — capture, don't abort the run
                 record = {"id": job.id, "status": "failed", "attempt": attempt,

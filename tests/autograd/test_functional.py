@@ -15,7 +15,7 @@ from repro.autograd import (
     segment_softmax,
     softmax,
 )
-from repro.errors import ShapeError
+from repro.errors import AutogradError, ShapeError
 
 
 def t(shape, seed=0):
@@ -63,7 +63,7 @@ class TestLosses:
         assert nll_loss(logp, labels, reduction="sum").item() == pytest.approx(none.numpy().sum())
 
     def test_nll_bad_reduction(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(AutogradError):
             nll_loss(log_softmax(t((2, 2))), np.array([0, 1]), reduction="bogus")
 
     def test_nll_shape_error(self):
@@ -146,5 +146,5 @@ class TestDropout:
         assert out.mean() == pytest.approx(1.0, abs=0.05)
 
     def test_invalid_p(self, rng):
-        with pytest.raises(ValueError):
+        with pytest.raises(AutogradError):
             dropout(Tensor(np.ones(2)), 1.0, rng)

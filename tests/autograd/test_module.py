@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autograd import MLP, Linear, Module, Parameter, ReLU, Sequential, Tensor
-from repro.errors import ModelError
+from repro.errors import AutogradError, ModelError
 
 
 class Net(Module):
@@ -133,7 +133,7 @@ class TestLayers:
         assert mlp(Tensor(np.ones((3, 4)))).shape == (3, 2)
 
     def test_mlp_needs_two_dims(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(AutogradError):
             MLP([4])
 
     def test_mlp_final_activation(self):

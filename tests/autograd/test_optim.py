@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autograd import SGD, Adam, Linear, Tensor
+from repro.errors import AutogradError
 
 
 def quadratic_problem():
@@ -54,7 +55,7 @@ class TestSGD:
         assert x.numpy()[0] == 1.0
 
     def test_empty_params_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(AutogradError):
             SGD([], lr=0.1)
 
 

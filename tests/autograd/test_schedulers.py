@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import AutogradError
 from repro.autograd import (
     SGD,
     Adam,
@@ -32,7 +33,7 @@ class TestStepLR:
         assert opt.lr == pytest.approx(0.1)
 
     def test_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(AutogradError):
             StepLR(make_opt(), step_size=0)
 
 
@@ -56,7 +57,7 @@ class TestCosine:
         assert lr == pytest.approx(0.2)
 
     def test_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(AutogradError):
             CosineAnnealingLR(make_opt(), total_epochs=0)
 
 
@@ -83,7 +84,7 @@ class TestWarmup:
         assert lrs[3] == pytest.approx(0.25)  # StepLR epoch 2
 
     def test_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(AutogradError):
             LinearWarmup(make_opt(), warmup_epochs=0)
 
 

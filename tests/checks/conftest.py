@@ -1,0 +1,28 @@
+"""Shared fixture helpers for the lint-engine tests.
+
+``make_module`` recreates the package nesting the engine's
+:func:`repro.checks.engine.module_name` resolver keys on, so a file
+written to ``tmp_path/src/repro/flows/x.py`` (with ``__init__.py``
+chains) lints exactly like the real tree.
+"""
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def make_module(tmp_path):
+    def _make(dotted: str, source: str) -> Path:
+        *packages, stem = dotted.split(".")
+        directory = tmp_path / "src"
+        directory.mkdir(exist_ok=True)
+        for part in packages:
+            directory = directory / part
+            directory.mkdir(exist_ok=True)
+            (directory / "__init__.py").touch()
+        path = directory / f"{stem}.py"
+        path.write_text(source)
+        return path
+
+    return _make

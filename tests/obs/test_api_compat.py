@@ -36,8 +36,9 @@ class TestLegacyKwargs:
     def test_flat_jobs_kwarg_warns_and_routes(self, fake_planned, tmp_path):
         journal = str(tmp_path / "fid.jsonl")
         with pytest.warns(DeprecationWarning, match="execution=ExecutionConfig"):
-            run_fidelity_experiment("tree_cycles", "gcn", ("gradcam",),
-                                    config=CFG, jobs=2, resume=journal)
+            run_fidelity_experiment(  # repro: noqa[RPR021] — pins the shim
+                "tree_cycles", "gcn", ("gradcam",),
+                config=CFG, jobs=2, resume=journal)
         execution = fake_planned["execution"]
         assert execution.jobs == 2
         assert execution.resume == journal
@@ -45,8 +46,9 @@ class TestLegacyKwargs:
     def test_flat_kwargs_overlay_explicit_execution(self, fake_planned):
         base = ExecutionConfig(jobs=1, retries=3)
         with pytest.warns(DeprecationWarning):
-            run_fidelity_experiment("tree_cycles", "gcn", ("gradcam",),
-                                    config=CFG, execution=base, jobs=4)
+            run_fidelity_experiment(  # repro: noqa[RPR021] — pins the shim
+                "tree_cycles", "gcn", ("gradcam",),
+                config=CFG, execution=base, jobs=4)
         execution = fake_planned["execution"]
         assert execution.jobs == 4      # legacy kwarg wins over the object
         assert execution.retries == 3   # untouched fields survive

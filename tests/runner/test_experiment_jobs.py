@@ -10,7 +10,7 @@ import multiprocessing as mp
 
 import pytest
 
-from repro.eval import ExperimentConfig
+from repro.eval import ExecutionConfig, ExperimentConfig
 from repro.eval.experiments import (
     run_auc_experiment,
     run_fidelity_experiment,
@@ -27,8 +27,9 @@ METHODS = ("gradcam", "revelio")
 
 
 def _fidelity(jobs, resume):
+    execution = ExecutionConfig(jobs=jobs, resume=resume)
     return run_fidelity_experiment("tree_cycles", "gcn", METHODS,
-                                   config=CFG, jobs=jobs, resume=resume)
+                                   config=CFG, execution=execution)
 
 
 @needs_fork
@@ -68,7 +69,8 @@ class TestInlineJobsPath:
 
     def test_auc_jobs_path(self):
         cfg = ExperimentConfig(scale=0.12, num_instances=3, effort=0.05, seed=0)
-        out = run_auc_experiment("tree_cycles", "gcn", METHODS, config=cfg, jobs=1)
+        out = run_auc_experiment("tree_cycles", "gcn", METHODS, config=cfg,
+                                 execution=ExecutionConfig(jobs=1))
         for value in out["auc"].values():
             assert 0.0 <= value <= 1.0
         assert out["jobs"]["failed"] == 0
@@ -76,8 +78,8 @@ class TestInlineJobsPath:
     def test_runtime_jobs_path(self):
         cfg = ExperimentConfig(scale=0.12, num_instances=2, effort=0.05, seed=0)
         out = run_runtime_experiment("tree_cycles", "gcn",
-                                     ("gradcam", "gnnexplainer"),
-                                     config=cfg, jobs=1)
+                                      ("gradcam", "gnnexplainer"), config=cfg,
+                                      execution=ExecutionConfig(jobs=1))
         assert out["mean_seconds"]["gradcam"] < out["mean_seconds"]["gnnexplainer"]
 
     def test_failed_chunks_do_not_abort_artifact(self, monkeypatch):

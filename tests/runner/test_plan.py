@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import RunnerError
 from repro.eval import ExperimentConfig
 from repro.runner import (
     GROUP_FIT_METHODS,
@@ -88,7 +89,7 @@ class TestPlanExperiment:
         assert plan.jobs[0].payload["num_instances"] == 8
 
     def test_unplannable_artifact(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(RunnerError):
             plan_experiment("table3", "tree_cycles", "gcn", ("gradcam",), config=CFG)
 
     def test_per_job_seeds_differ_across_chunks(self):

@@ -89,7 +89,7 @@ class TestInline:
         records = run_jobs([JobSpec(id="u", kind="no_such_kind")], workers=1,
                            retries=0)
         assert records["u"]["status"] == "failed"
-        assert records["u"]["error"]["type"] == "LookupError"
+        assert records["u"]["error"]["type"] == "RunnerError"
 
     def test_journal_written(self, tmp_path):
         path = tmp_path / "j.jsonl"
