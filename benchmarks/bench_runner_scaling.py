@@ -5,7 +5,7 @@ Times a small fidelity grid through ``repro.runner`` twice — inline
 rows are byte-identical, and times a pure-orchestration grid of blocking
 jobs that isolates the pool's dispatch/journal overhead from the
 compute. Results are merged into ``BENCH_perf.json`` at the repository
-root under ``"runner_scaling"``.
+root under ``workloads/runner_scaling``.
 
 The ≥2× speedup floor applies to whichever measurement the hardware can
 physically deliver: the real fidelity grid needs ≥4 usable cores
@@ -128,13 +128,16 @@ def run_benchmark() -> dict:
         assert payload["fidelity_grid"]["speedup"] >= SPEEDUP_FLOOR, \
             f"parallel fidelity grid below {SPEEDUP_FLOOR}x: {payload['fidelity_grid']}"
 
+    from repro.obs.names import WORKLOAD_RUNNER_SCALING
+
     existing = {}
     if RESULT_PATH.exists():
         try:
             existing = json.loads(RESULT_PATH.read_text())
         except json.JSONDecodeError:
             existing = {}
-    existing["runner_scaling"] = payload
+    results = existing.setdefault("workloads", {})
+    results[WORKLOAD_RUNNER_SCALING] = payload
     RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
     return payload
 

@@ -1,7 +1,7 @@
 """repro.checks — repo-aware static analysis for the reproduction.
 
 An AST lint pass that machine-checks the invariants the reproduction's
-claims rest on, in four families:
+claims rest on, in five families:
 
 * **determinism** — no module-global RNG state, no wall-clock seeds, no
   set-order-sensitive iteration in scoring code (RPR001–RPR003);
@@ -11,7 +11,10 @@ claims rest on, in four families:
   re-exploded ``ExecutionConfig`` flat kwargs (RPR020–RPR021);
 * **observability conformance** — every span/stage/counter name resolves
   against the declared registry in :mod:`repro.obs.names`
-  (RPR030–RPR031).
+  (RPR030–RPR031);
+* **benchmark conformance** — workload keys written to BENCH_perf.json
+  by ``bench_*`` scripts resolve against the declared workload registry
+  (RPR040).
 
 Run as ``repro lint src tests`` (CI gates on it) or through
 :func:`lint_paths` / :func:`run_lint`. Per-line suppression:
@@ -31,7 +34,7 @@ from .registry import RULES, Rule, all_rules, register, resolve_codes
 from .report import format_rule_listing, run_lint
 
 # Importing the rule modules registers their rules (stable-code registry).
-from . import api, determinism, discipline, obsconf
+from . import api, benchconf, determinism, discipline, obsconf
 
 __all__ = [
     "Violation",
@@ -47,6 +50,7 @@ __all__ = [
     "run_lint",
     "format_rule_listing",
     "api",
+    "benchconf",
     "determinism",
     "discipline",
     "obsconf",

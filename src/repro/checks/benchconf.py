@@ -1,0 +1,66 @@
+"""Benchmark-conformance rule: RPR040 keeps workload names in sync with
+:mod:`repro.obs.names`.
+
+``BENCH_perf.json`` and ``BENCH_history.jsonl`` are joined on workload
+keys by CI artifact diffing and the README tables. A typo'd
+``results["fidelty_curve"] = ...`` in a bench script would fork the time
+series without failing anything — the same silent-bucket failure mode
+the RPR03x observability rules close for spans and counters. This rule
+resolves every string-literal workload key written by a ``bench_*``
+module against the declared ``WORKLOAD_NAMES`` registry; call sites that
+import the ``WORKLOAD_*`` constants produce ``Name`` nodes and are clean
+by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import FileContext, Violation
+from .obsconf import _hint
+from .registry import Rule, register
+
+__all__ = ["UnregisteredWorkloadName"]
+
+
+def _workload_names() -> frozenset[str]:
+    from ..obs import names
+
+    return names.WORKLOAD_NAMES
+
+
+@register
+class UnregisteredWorkloadName(Rule):
+    code = "RPR040"
+    name = "unregistered-workload-name"
+    rationale = ("A workload key not declared in repro.obs.names forks the "
+                 "BENCH_perf.json / BENCH_history.jsonl time series "
+                 "silently; declare the WORKLOAD_* constant and import it "
+                 "in the bench script.")
+
+    def applies(self, ctx: FileContext) -> bool:
+        # Benchmark scripts only — the convention is that every measured
+        # scenario is recorded as results["<workload>"] = payload there.
+        last = ctx.module.rsplit(".", 1)[-1]
+        return last.startswith("bench_")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        names = _workload_names()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if not isinstance(target, ast.Subscript):
+                    continue
+                base = target.value
+                if not (isinstance(base, ast.Name) and base.id == "results"):
+                    continue
+                key = target.slice
+                if isinstance(key, ast.Constant) and isinstance(key.value, str) \
+                        and key.value not in names:
+                    yield self.violation(
+                        ctx, key,
+                        f"workload name {key.value!r} is not declared in "
+                        f"repro.obs.names{_hint(key.value, names)}")

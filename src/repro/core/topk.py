@@ -55,6 +55,9 @@ class TopKRevelio(Revelio):
         self.k = k
         self.strategy = strategy
 
+    def _memo_extras(self) -> tuple:
+        return (self.k, self.strategy)
+
     # The learning loop overrides Revelio's `_optimize` to work on the
     # reduced parameterization.
     def _optimize(self, graph: Graph, flow_index: FlowIndex, mode: str,

@@ -50,3 +50,8 @@ class RunnerError(ReproError):
 
 class CheckError(ReproError):
     """Raised for invalid static-analysis requests (unknown rule codes)."""
+
+
+class KernelError(ReproError):
+    """Raised for invalid sparse-kernel registry requests (unknown ops or
+    backends, mismatched scatter plans)."""

@@ -68,11 +68,12 @@ class FlowIndex:
             raise FlowError("nodes / layer_edges row mismatch")
         # Lazily built caches — the incidence structure is fixed, so the
         # gather/scatter index arrays used by aggregate_scores (rebuilt on
-        # every mask-training epoch otherwise) and the FlowIncidence view
-        # are computed once and reused.
+        # every mask-training epoch otherwise), the FlowIncidence view and
+        # the used-layer-edge mask are computed once and reused.
         self._gather_index: np.ndarray | None = None
         self._scatter_index: np.ndarray | None = None
         self._incidence = None
+        self._used_layer_edges: np.ndarray | None = None
 
     def _aggregation_indices(self, reuse: bool = True) -> tuple[np.ndarray, np.ndarray]:
         """``(gather, scatter)`` index arrays for flow → layer-edge sums.
@@ -168,30 +169,31 @@ class FlowIndex:
         return flat.reshape(self.num_layers, width)
 
     def aggregate_scores_np(self, flow_scores: np.ndarray) -> np.ndarray:
-        """Numpy-only version of :meth:`aggregate_scores` (no tape)."""
-        width = self.num_layer_edges
-        gather, scatter = self._aggregation_indices()
-        out = np.zeros(self.num_layers * width)
-        np.add.at(out, scatter, flow_scores[gather])
-        return out.reshape(self.num_layers, width)
+        """Numpy-only version of :meth:`aggregate_scores` (no tape).
+
+        Dispatches through the cached per-layer incidence plans (one
+        ``spmm`` kernel call per layer) instead of a flat ``np.add.at``.
+        """
+        return self.incidence().aggregate(np.asarray(flow_scores, dtype=np.float64))
 
     def used_layer_edges(self) -> np.ndarray:
         """Boolean ``(L, E+N)``: layer edges that carry at least one flow.
 
         The sparsity regularizer (Eq. 8) averages masks over exactly these
-        entries ("skipping those that are unused by GNN layers").
+        entries ("skipping those that are unused by GNN layers"). Computed
+        once per index — the structure is fixed — and shared by every
+        optimize loop and mask-transform call that reuses the index.
         """
-        used = np.zeros((self.num_layers, self.num_layer_edges), dtype=bool)
-        for l in range(self.num_layers):
-            used[l, self.layer_edges[:, l]] = True
-        return used
+        if self._used_layer_edges is None:
+            used = np.zeros((self.num_layers, self.num_layer_edges), dtype=bool)
+            for l in range(self.num_layers):
+                used[l, self.layer_edges[:, l]] = True
+            self._used_layer_edges = used
+        return self._used_layer_edges
 
     def flows_per_layer_edge(self) -> np.ndarray:
         """``(L, E+N)`` count of flows through each layer edge."""
-        counts = np.zeros((self.num_layers, self.num_layer_edges), dtype=np.int64)
-        for l in range(self.num_layers):
-            np.add.at(counts[l], self.layer_edges[:, l], 1)
-        return counts
+        return self.incidence().flows_per_layer_edge()
 
     def flows_through(self, layer: int, layer_edge: int) -> np.ndarray:
         """Indices of flows using ``layer_edge`` at 1-based ``layer``.

@@ -4,9 +4,13 @@ The paper's matrix implementation computes layer-edge importance as
 
     omega[E] = sigma( I · omega[F] ⊙ exp(w) )
 
-with ``I ∈ {0,1}^{L × |E| × |F|}``. :class:`FlowIncidence` materializes one
-CSR matrix per layer so both autograd-free baselines (FlowX's Shapley
-attribution) and analysis code can do these products at scipy speed.
+with ``I ∈ {0,1}^{L × |E| × |F|}``. :class:`FlowIncidence` compiles one
+:class:`~repro.sparse.SegmentPlan` per layer — the CSR matrix is assembled
+straight from the plan's sorted index (no COO conversion) and cached on the
+owning :class:`~repro.flows.enumeration.FlowIndex`, so Revelio's mask
+training, FlowX's Shapley attribution and analysis code all share one
+compiled structure per graph. Products dispatch through the
+:mod:`repro.sparse` ``spmm`` kernel.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..errors import FlowError
+from ..sparse import SegmentPlan, kernel
 from .enumeration import FlowIndex
 
 __all__ = ["FlowIncidence"]
@@ -29,21 +34,22 @@ class FlowIncidence:
 
     def __init__(self, index: FlowIndex):
         self.index = index
-        self._layers: list[sp.csr_matrix] = []
-        f_ids = np.arange(index.num_flows)
-        ones = np.ones(index.num_flows)
-        for l in range(index.num_layers):
-            mat = sp.csr_matrix(
-                (ones, (index.layer_edges[:, l], f_ids)),
-                shape=(index.num_layer_edges, index.num_flows),
-            )
-            self._layers.append(mat)
+        # One compiled plan per layer: flow -> layer-edge scatter. The CSR
+        # matrix view is built lazily inside the plan on first product.
+        self._plans: list[SegmentPlan] = [
+            SegmentPlan(index.layer_edges[:, l], index.num_layer_edges)
+            for l in range(index.num_layers)
+        ]
+
+    def plan(self, l: int) -> SegmentPlan:
+        """Compiled scatter plan for 1-based layer ``l``."""
+        if not 1 <= l <= self.index.num_layers:
+            raise FlowError(f"layer must be in [1, {self.index.num_layers}], got {l}")
+        return self._plans[l - 1]
 
     def layer(self, l: int) -> sp.csr_matrix:
         """Incidence matrix for 1-based layer ``l``."""
-        if not 1 <= l <= self.index.num_layers:
-            raise FlowError(f"layer must be in [1, {self.index.num_layers}], got {l}")
-        return self._layers[l - 1]
+        return self.plan(l).matrix
 
     def aggregate(self, flow_scores: np.ndarray) -> np.ndarray:
         """``(L, E+N)`` sums of flow scores per layer edge (Eq. 3)."""
@@ -52,7 +58,15 @@ class FlowIncidence:
             raise FlowError(
                 f"flow_scores must have shape ({self.index.num_flows},), got {flow_scores.shape}"
             )
-        return np.stack([m @ flow_scores for m in self._layers])
+        spmm = kernel("spmm")
+        return np.stack([spmm(p.matrix, flow_scores) for p in self._plans])
+
+    def flows_per_layer_edge(self) -> np.ndarray:
+        """``(L, E+N)`` count of flows through each layer edge.
+
+        Read directly off the compiled plans' segment counts — no scatter.
+        """
+        return np.stack([p.counts for p in self._plans]).astype(np.int64)
 
     def flows_removed_by_edges(self, layer_edge_ids: np.ndarray) -> np.ndarray:
         """Boolean mask of flows that traverse *any* of the given layer edges

@@ -27,6 +27,7 @@ from .utils import (
     from_networkx,
     induced_subgraph,
     k_hop_subgraph,
+    sparse_cache,
     to_csr,
     to_networkx,
     to_undirected,
@@ -36,6 +37,7 @@ __all__ = [
     "Graph",
     "GraphBatch",
     "coalesce_edges",
+    "sparse_cache",
     "to_csr",
     "to_undirected",
     "add_reverse_edges",

@@ -10,10 +10,14 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..errors import GraphError
+# Re-exported: the compiled scatter-structure cache lives with the sparse
+# core but is naturally discovered next to the other graph helpers.
+from ..sparse import sparse_cache  # noqa: F401
 from .data import Graph
 
 __all__ = [
     "coalesce_edges",
+    "sparse_cache",
     "to_csr",
     "to_undirected",
     "add_reverse_edges",

@@ -8,6 +8,13 @@ broadcasts a leading batch axis ``B`` over shared weights and evaluates the
 whole stack in a handful of BLAS / sparse-matmul calls, entirely in numpy
 (no autograd objects are allocated).
 
+Every scatter and segment reduction dispatches through the
+:mod:`repro.sparse` kernel registry over a :class:`~repro.sparse.SegmentPlan`
+— pass ``plan=`` (the convs pass the per-graph cached plan from
+:func:`repro.sparse.sparse_cache`) to skip the per-call index compilation
+that used to dominate these helpers; without it a throwaway plan is
+compiled, which keeps the old signatures working.
+
 Two masking semantics are supported, selected per call:
 
 ``structural=False`` (default)
@@ -26,13 +33,14 @@ Two masking semantics are supported, selected per call:
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..errors import ShapeError
+from ..sparse import SegmentPlan, kernel
 
 __all__ = [
     "scatter_rows_np",
     "scatter_edge_major",
+    "gather_scatter_edge_major",
     "segment_softmax_np",
     "segment_softmax_edge_major",
     "apply_dense_np",
@@ -40,7 +48,16 @@ __all__ = [
 ]
 
 
-def scatter_rows_np(values: np.ndarray, index: np.ndarray, num_rows: int) -> np.ndarray:
+def _resolve_plan(index: np.ndarray, num_rows: int,
+                  plan: SegmentPlan | None) -> SegmentPlan:
+    if plan is None:
+        return SegmentPlan(index, num_rows)
+    plan.check_shape(index.shape[0], num_rows)
+    return plan
+
+
+def scatter_rows_np(values: np.ndarray, index: np.ndarray, num_rows: int,
+                    plan: SegmentPlan | None = None) -> np.ndarray:
     """Batched scatter-add: sum ``values[:, i]`` into row ``index[i]``.
 
     Parameters
@@ -51,14 +68,17 @@ def scatter_rows_np(values: np.ndarray, index: np.ndarray, num_rows: int) -> np.
         ``(A,)`` destination row per payload (shared across the batch).
     num_rows:
         Output row count ``N``.
+    plan:
+        Optional precompiled :class:`SegmentPlan` for ``(index, num_rows)``.
 
     Returns
     -------
     ``(B, N, *tail)`` aggregated rows.
 
-    Implemented as one CSR matmul — the (N, A) incidence of ``index`` times
-    the payloads flattened to ``(A, B·∏tail)`` — which runs at sparse-BLAS
-    speed instead of ``np.add.at``'s per-element loop.
+    Dispatches one ``scatter_add`` kernel call on the payloads flattened to
+    ``(A, B·∏tail)`` — sparse-BLAS speed instead of ``np.add.at``'s
+    per-element loop, but note the batch-major layout costs two transpose
+    copies; the convs use :func:`scatter_edge_major` to avoid them.
     """
     index = np.asarray(index, dtype=np.int64)
     B, A = values.shape[0], values.shape[1]
@@ -68,26 +88,25 @@ def scatter_rows_np(values: np.ndarray, index: np.ndarray, num_rows: int) -> np.
     width = int(np.prod(tail)) if tail else 1
     if A == 0:
         return np.zeros((B, num_rows) + tail)
-    mat = sp.csr_matrix(
-        (np.ones(A), (index, np.arange(A))), shape=(num_rows, A)
-    )
+    plan = _resolve_plan(index, num_rows, plan)
     flat = np.ascontiguousarray(values.reshape(B, A, width).transpose(1, 0, 2)).reshape(
         A, B * width
     )
-    out = mat @ flat  # (N, B*width)
+    out = kernel("scatter_add")(plan, flat)  # (N, B*width)
     return np.ascontiguousarray(
         out.reshape(num_rows, B, width).transpose(1, 0, 2)
     ).reshape((B, num_rows) + tail)
 
 
-def scatter_edge_major(values: np.ndarray, index: np.ndarray, num_rows: int) -> np.ndarray:
+def scatter_edge_major(values: np.ndarray, index: np.ndarray, num_rows: int,
+                       plan: SegmentPlan | None = None) -> np.ndarray:
     """Edge-major scatter-add: sum ``values[i]`` into row ``index[i]``.
 
     The convs keep their hidden state node-major — ``(N, B, F)`` rather than
-    ``(B, N, F)`` — precisely so this reduces to ``incidence @ values`` on a
-    zero-copy ``(A, B·F)`` reshape. The batch-major layout needs two full
-    transpose copies per scatter (see :func:`scatter_rows_np`), which
-    dominates the engine's runtime at explainer batch sizes.
+    ``(B, N, F)`` — precisely so this reduces to one ``scatter_add`` kernel
+    call on a zero-copy ``(A, B·F)`` reshape. The batch-major layout needs
+    two full transpose copies per scatter (see :func:`scatter_rows_np`),
+    which dominates the engine's runtime at explainer batch sizes.
 
     Parameters
     ----------
@@ -97,6 +116,9 @@ def scatter_edge_major(values: np.ndarray, index: np.ndarray, num_rows: int) -> 
         ``(A,)`` destination row per payload.
     num_rows:
         Output row count ``N``.
+    plan:
+        Optional precompiled :class:`SegmentPlan` for ``(index, num_rows)``
+        — the cached per-graph plan makes this the no-setup hot path.
 
     Returns
     -------
@@ -110,12 +132,65 @@ def scatter_edge_major(values: np.ndarray, index: np.ndarray, num_rows: int) -> 
     width = int(np.prod(tail)) if tail else 1
     if A == 0:
         return np.zeros((num_rows,) + tail)
-    mat = sp.csr_matrix(
-        (np.ones(A), (index, np.arange(A))), shape=(num_rows, A)
-    )
+    plan = _resolve_plan(index, num_rows, plan)
     flat = np.ascontiguousarray(values).reshape(A, width)  # view when contiguous
-    out = mat @ flat
+    out = kernel("scatter_add")(plan, flat)
     return out.reshape((num_rows,) + tail)
+
+
+def gather_scatter_edge_major(dense: np.ndarray, cols: np.ndarray,
+                              weights: np.ndarray, index: np.ndarray,
+                              num_rows: int,
+                              plan: SegmentPlan | None = None) -> np.ndarray:
+    """Fused gather → edge-weight → scatter (the message-passing inner loop).
+
+    ``out[r, b] = Σ_{i: index[i]=r} weights[i, b] · dense[cols[i], b]`` —
+    i.e. gather source-node rows, scale each by its per-edge coefficient
+    (normalization × mask), and sum into destination rows, without ever
+    materializing the ``(A, B, K)`` message tensor. On the scipy backend
+    this is one weighted CSR × dense product per mask row.
+
+    Parameters
+    ----------
+    dense:
+        ``(M, K)`` batch-shared node payloads, or ``(M, B, K)`` per-row
+        payloads.
+    cols:
+        ``(A,)`` source row in ``dense`` per edge.
+    weights:
+        ``(A, Bw)`` per-edge coefficients; ``Bw`` may be 1 for batch-shared
+        coefficients.
+    index:
+        ``(A,)`` destination row per edge.
+    num_rows:
+        Output row count ``N``.
+    plan:
+        Optional precompiled :class:`SegmentPlan` for ``(index, num_rows)``.
+
+    Returns
+    -------
+    ``(N, max(Bw, B), K)`` aggregated rows.
+    """
+    cols = np.asarray(cols, dtype=np.int64)
+    index = np.asarray(index, dtype=np.int64)
+    A = index.shape[0]
+    if cols.shape[0] != A:
+        raise ShapeError(f"gather index length {cols.shape[0]} != scatter "
+                         f"index length {A}")
+    if weights.shape[0] != A:
+        raise ShapeError(f"edge weights rows {weights.shape[0]} != edge count {A}")
+    B = max(weights.shape[1], dense.shape[1] if dense.ndim == 3 else 1)
+    if A == 0:
+        return np.zeros((num_rows, B, dense.shape[-1]))
+    plan = _resolve_plan(index, num_rows, plan)
+    return kernel("gather_scatter")(plan, cols, weights, dense)
+
+
+def _segment_max(plan: SegmentPlan, values: np.ndarray) -> np.ndarray:
+    """Segment max with empty segments mapped to 0 (softmax shift semantics)."""
+    seg_max = kernel("segment_max")(plan, values)
+    seg_max[~np.isfinite(seg_max)] = 0.0
+    return seg_max
 
 
 def segment_softmax_np(scores: np.ndarray, segment_ids: np.ndarray, num_segments: int,
@@ -138,11 +213,12 @@ def segment_softmax_np(scores: np.ndarray, segment_ids: np.ndarray, num_segments
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     B, A, H = scores.shape
     # Per-segment max for numerical stability; computed over all edges
-    # (subtracting any constant leaves softmax unchanged).
-    seg_max = np.full((B * num_segments, H), -np.inf)
+    # (subtracting any constant leaves softmax unchanged). The flat id
+    # space is batch-dependent, so the plan is per-call here — the
+    # node-major engine uses segment_softmax_edge_major instead.
     flat_ids = (np.arange(B)[:, None] * num_segments + segment_ids[None, :]).reshape(-1)
-    np.maximum.at(seg_max, flat_ids, scores.reshape(B * A, H))
-    seg_max[~np.isfinite(seg_max)] = 0.0
+    flat_plan = SegmentPlan(flat_ids, B * num_segments)
+    seg_max = _segment_max(flat_plan, scores.reshape(B * A, H))
     shifted = scores - seg_max.reshape(B, num_segments, H)[:, segment_ids, :]
     exp = np.exp(shifted)
     if weights is not None:
@@ -154,7 +230,8 @@ def segment_softmax_np(scores: np.ndarray, segment_ids: np.ndarray, num_segments
 
 def segment_softmax_edge_major(scores: np.ndarray, segment_ids: np.ndarray,
                                num_segments: int,
-                               weights: np.ndarray | None = None) -> np.ndarray:
+                               weights: np.ndarray | None = None,
+                               plan: SegmentPlan | None = None) -> np.ndarray:
     """Edge-major per-segment softmax (GAT attention, node-major engine).
 
     Parameters
@@ -170,17 +247,20 @@ def segment_softmax_edge_major(scores: np.ndarray, segment_ids: np.ndarray,
         Optional ``(A, B)`` multipliers applied to the *exponentials* before
         normalization — binary weights renormalize attention over the
         surviving edges only (structural edge removal).
+    plan:
+        Optional precompiled :class:`SegmentPlan` for
+        ``(segment_ids, num_segments)``; shared by the max, the denominator
+        scatter and the caller's message aggregation.
     """
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     A, B, H = scores.shape
-    seg_max = np.full((num_segments, B * H), -np.inf)
-    np.maximum.at(seg_max, segment_ids, scores.reshape(A, B * H))
-    seg_max[~np.isfinite(seg_max)] = 0.0
+    plan = _resolve_plan(segment_ids, num_segments, plan)
+    seg_max = _segment_max(plan, scores.reshape(A, B * H))
     shifted = scores - seg_max.reshape(num_segments, B, H)[segment_ids]
     exp = np.exp(shifted)
     if weights is not None:
         exp = exp * weights[:, :, None]
-    denom = scatter_edge_major(exp, segment_ids, num_segments)  # (N, B, H)
+    denom = scatter_edge_major(exp, segment_ids, num_segments, plan=plan)  # (N, B, H)
     denom = np.maximum(denom, 1e-300)  # isolated segments: avoid 0/0
     return exp / denom[segment_ids]
 

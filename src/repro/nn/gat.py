@@ -13,6 +13,7 @@ import numpy as np
 from ..autograd import Parameter, Tensor, concat, segment_softmax
 from ..autograd.init import glorot_uniform, zeros
 from ..rng import ensure_rng
+from ..sparse import GraphSparseCache
 from .message_passing import GraphConv, augment_edges
 
 __all__ = ["GATConv"]
@@ -86,10 +87,13 @@ class GATConv(GraphConv):
 
     def forward_np_batch(self, x: np.ndarray, edge_index: np.ndarray, num_nodes: int,
                          edge_mask: np.ndarray | None = None,
-                         structural: bool = False) -> np.ndarray:
+                         structural: bool = False,
+                         cache: GraphSparseCache | None = None) -> np.ndarray:
         from .batched import scatter_edge_major, segment_softmax_edge_major
 
-        src, dst = augment_edges(edge_index, num_nodes)
+        if cache is None:
+            cache = GraphSparseCache(edge_index, num_nodes)
+        src, dst, plan = cache.src, cache.dst, cache.dst_plan
         B = x.shape[1]
         edge_mask = self._check_mask_np(edge_mask, B, edge_index.shape[1], num_nodes)
         mask_t = edge_mask.T if edge_mask is not None else None   # (A, B) view
@@ -113,12 +117,13 @@ class GATConv(GraphConv):
         # Structural removal renormalizes attention over surviving edges;
         # Eq. (6) masking keeps the normalization intact.
         weights = mask_t if (structural and edge_mask is not None) else None
-        attention = segment_softmax_edge_major(logits, dst, num_nodes, weights=weights)
+        attention = segment_softmax_edge_major(logits, dst, num_nodes,
+                                               weights=weights, plan=plan)
 
         messages = h[src] * attention[:, :, :, None]       # (A, B', H, F)
         if edge_mask is not None and not structural:
             messages = messages * mask_t[:, :, None, None]
-        out = scatter_edge_major(messages, dst, num_nodes)  # (N, B', H, F)
+        out = scatter_edge_major(messages, dst, num_nodes, plan=plan)  # (N, B', H, F)
         if out.shape[1] != B:
             out = np.broadcast_to(out, (num_nodes, B) + out.shape[2:])
 

@@ -12,6 +12,7 @@ import numpy as np
 from ..autograd import Parameter, Tensor
 from ..autograd.init import glorot_uniform, zeros
 from ..rng import ensure_rng
+from ..sparse import GraphSparseCache
 from .message_passing import GraphConv, augment_edges
 
 __all__ = ["GCNConv"]
@@ -68,52 +69,51 @@ class GCNConv(GraphConv):
 
     def forward_np_batch(self, x: np.ndarray, edge_index: np.ndarray, num_nodes: int,
                          edge_mask: np.ndarray | None = None,
-                         structural: bool = False) -> np.ndarray:
-        from .batched import scatter_edge_major
+                         structural: bool = False,
+                         cache: GraphSparseCache | None = None) -> np.ndarray:
+        from .batched import gather_scatter_edge_major, scatter_edge_major
 
-        src, dst = augment_edges(edge_index, num_nodes)
+        if cache is None:
+            cache = GraphSparseCache(edge_index, num_nodes)
+        src, dst, plan = cache.src, cache.dst, cache.dst_plan
         B = x.shape[1]
         edge_mask = self._check_mask_np(edge_mask, B, edge_index.shape[1], num_nodes)
 
         shared_x = x.strides[1] == 0
         if shared_x:
-            # Batch-broadcast features (x_stack=None): project and gather
-            # once; the coefficient multiply re-expands the batch axis.
-            h_src = np.ascontiguousarray((x[:, 0, :] @ self.weight.data)[src])  # (A, out)
+            h = x[:, 0, :] @ self.weight.data                    # (N, out)
         else:
             h = (x.reshape(-1, x.shape[-1]) @ self.weight.data)  # one GEMM
-            h_src = h.reshape(num_nodes, B, -1)[src]             # (A, B, out)
+            h = h.reshape(num_nodes, B, -1)                      # (N, B, out)
 
-        # Fuse normalization and mask into one (A, B) coefficient so the
-        # large (A, B, out) payload is traversed a single time.
+        # Fuse normalization and mask into one (A, B) coefficient; the
+        # gather_scatter kernel folds it into the sparse matmul so the
+        # (A, B, out) message tensor is never materialized.
         coeff = None
         if self.normalize:
             if structural and edge_mask is not None:
                 # Degree of the masked adjacency: structural removal changes
                 # the renormalization, exactly as Graph.with_edges would.
+                # One sparse row-scale over the cached plan — no rebuild.
                 deg = scatter_edge_major(
-                    np.ascontiguousarray(edge_mask.T), dst, num_nodes
+                    np.ascontiguousarray(edge_mask.T), dst, num_nodes, plan=plan
                 )  # (N, B)
                 deg_inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1.0))
                 coeff = deg_inv_sqrt[src] * deg_inv_sqrt[dst]    # (A, B)
             else:
-                deg = np.bincount(dst, minlength=num_nodes).astype(np.float64)
-                deg_inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1.0))
+                deg_inv_sqrt = cache.deg_inv_sqrt
                 coeff = (deg_inv_sqrt[src] * deg_inv_sqrt[dst])[:, None]  # (A, 1)
         if edge_mask is not None:
             mask_t = edge_mask.T                                  # (A, B) view
             coeff = mask_t if coeff is None else coeff * mask_t
+        if coeff is None:
+            coeff = np.ones((src.shape[0], 1))
 
-        if coeff is not None:
-            messages = coeff[:, :, None] * (h_src[:, None, :] if shared_x else h_src)
-        elif shared_x:
-            messages = h_src[:, None, :]
-        else:
-            messages = h_src
-        out = scatter_edge_major(messages, dst, num_nodes)        # (N, B', out)
+        out = gather_scatter_edge_major(h, src, coeff, dst, num_nodes,
+                                        plan=plan)                # (N, B', out)
         if out.shape[1] != B:
             # No per-row mask reached a batch-shared payload: every row is
-            # identical, so one scatter serves the whole batch.
+            # identical, so one aggregation serves the whole batch.
             out = np.broadcast_to(out, (num_nodes, B, out.shape[-1]))
         if self.bias is not None:
             out = out + self.bias.data

@@ -11,6 +11,7 @@ import numpy as np
 
 from ..autograd import MLP, Parameter, Tensor
 from ..rng import ensure_rng
+from ..sparse import GraphSparseCache
 from .message_passing import GraphConv, augment_edges
 
 __all__ = ["GINConv"]
@@ -64,10 +65,13 @@ class GINConv(GraphConv):
 
     def forward_np_batch(self, x: np.ndarray, edge_index: np.ndarray, num_nodes: int,
                          edge_mask: np.ndarray | None = None,
-                         structural: bool = False) -> np.ndarray:
-        from .batched import apply_dense_np, scatter_edge_major
+                         structural: bool = False,
+                         cache: GraphSparseCache | None = None) -> np.ndarray:
+        from .batched import apply_dense_np, gather_scatter_edge_major
 
-        src, dst = augment_edges(edge_index, num_nodes)
+        if cache is None:
+            cache = GraphSparseCache(edge_index, num_nodes)
+        src, dst, plan = cache.src, cache.dst, cache.dst_plan
         num_edges = edge_index.shape[1]
         B = x.shape[1]
         edge_mask = self._check_mask_np(edge_mask, B, num_edges, num_nodes)
@@ -75,7 +79,8 @@ class GINConv(GraphConv):
         # GIN aggregation is a plain sum, so masking a message already
         # equals removing its edge; structural mode needs no extra work.
         # Fold the (1 + eps) self-loop scale and the mask into one (A, B)
-        # coefficient, traversing the (A, B, F) payload a single time.
+        # coefficient; the gather_scatter kernel folds it into the sparse
+        # matmul so the (A, B, F) message tensor is never materialized.
         coeff = None
         if self.eps is not None:
             scale = np.ones(src.shape[0])
@@ -84,15 +89,13 @@ class GINConv(GraphConv):
         if edge_mask is not None:
             mask_t = edge_mask.T                      # (A, B) view
             coeff = mask_t if coeff is None else coeff * mask_t
+        if coeff is None:
+            coeff = np.ones((src.shape[0], 1))
 
         shared_x = x.strides[1] == 0
-        if shared_x:
-            # Batch-broadcast features: gather once.
-            gathered = np.ascontiguousarray(x[:, 0, :][src])[:, None, :]  # (A, 1, F)
-        else:
-            gathered = x[src]                         # (A, B, F)
-        messages = gathered if coeff is None else coeff[:, :, None] * gathered
-        aggregated = scatter_edge_major(messages, dst, num_nodes)
+        h = x[:, 0, :] if shared_x else x             # (N, F) or (N, B, F)
+        aggregated = gather_scatter_edge_major(h, src, coeff, dst, num_nodes,
+                                               plan=plan)  # (N, B', F)
         if aggregated.shape[1] != B:
             aggregated = np.broadcast_to(aggregated, (num_nodes, B) + aggregated.shape[2:])
         return apply_dense_np(self.mlp, aggregated)

@@ -30,20 +30,13 @@ import numpy as np
 from ..autograd import Module, Tensor
 from ..errors import ShapeError
 
+# The layer-edge id helpers live with the sparse core (repro.graph builds
+# scatter caches from them without importing repro.nn); re-exported here
+# because this module documents — and historically owned — the convention.
+from ..sparse.structure import augmented_edges as augment_edges  # noqa: F401
+from ..sparse.structure import num_layer_edges  # noqa: F401
+
 __all__ = ["GraphConv", "augment_edges", "num_layer_edges"]
-
-
-def augment_edges(edge_index: np.ndarray, num_nodes: int) -> tuple[np.ndarray, np.ndarray]:
-    """Return ``(src, dst)`` for data edges followed by one self-loop per node."""
-    loops = np.arange(num_nodes, dtype=np.int64)
-    src = np.concatenate([edge_index[0], loops])
-    dst = np.concatenate([edge_index[1], loops])
-    return src, dst
-
-
-def num_layer_edges(num_edges: int, num_nodes: int) -> int:
-    """Size of the layer-edge id space (data edges + self-loops)."""
-    return num_edges + num_nodes
 
 
 class GraphConv(Module):
@@ -92,7 +85,8 @@ class GraphConv(Module):
 
     def forward_np_batch(self, x: np.ndarray, edge_index: np.ndarray, num_nodes: int,
                          edge_mask: np.ndarray | None = None,
-                         structural: bool = False) -> np.ndarray:
+                         structural: bool = False,
+                         cache=None) -> np.ndarray:
         """Pure-numpy batched forward over a stack of edge-mask sets.
 
         Parameters
@@ -110,6 +104,12 @@ class GraphConv(Module):
         structural:
             With binary masks, emulate edge *removal* instead of message
             down-weighting (see :mod:`repro.nn.batched`).
+        cache:
+            Optional :class:`~repro.sparse.GraphSparseCache` for
+            ``(edge_index, num_nodes)`` — ``GNN.forward_masked_batch``
+            fetches the per-graph cache once and threads it through every
+            layer so no scatter structure is rebuilt. Compiled ad hoc when
+            omitted.
 
         Returns ``(N, B, F_out)``. No Tensor/tape objects are allocated —
         this is the ``no_grad`` fast path the perturbation explainers

@@ -17,6 +17,7 @@ from ..graph import Graph, GraphBatch
 from ..obs import PERF, span
 from ..obs.names import SPAN_MASKED_FORWARD_BATCH, STAGE_MASKED_FORWARD_BATCH
 from ..rng import ensure_rng
+from ..sparse import sparse_cache
 from .gat import GATConv
 from .gcn import GCNConv
 from .gin import GINConv
@@ -221,7 +222,10 @@ class GNN(Module):
             # The engine runs node-major — hidden state (N, B, F) — so every
             # scatter is a zero-copy CSR matmul and every projection a single
             # GEMM (see repro.nn.batched). Only the final logits transpose
-            # back to the caller's (B, rows, C) convention.
+            # back to the caller's (B, rows, C) convention. The per-graph
+            # scatter plan is compiled once (and cached on the graph across
+            # calls); every layer and mask variant dispatches over it.
+            cache = sparse_cache(graph)
             if x_stack is not None:
                 h = np.ascontiguousarray(x_stack.transpose(1, 0, 2))  # (N, B, F)
             else:
@@ -232,7 +236,8 @@ class GNN(Module):
             for l, conv in enumerate(self.convs):
                 mask = mask_stack[:, l, :] if mask_stack is not None else None
                 h = conv.forward_np_batch(h, graph.edge_index, num_nodes,
-                                          edge_mask=mask, structural=structural)
+                                          edge_mask=mask, structural=structural,
+                                          cache=cache)
                 h = np.maximum(h, 0.0)
 
             if self.task == "graph":

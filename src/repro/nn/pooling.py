@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor
+from ..sparse import SegmentPlan, kernel
 
 __all__ = ["global_mean_pool", "global_sum_pool", "global_max_pool",
            "global_sum_pool_np", "global_mean_pool_np", "global_max_pool_np"]
@@ -33,13 +34,17 @@ def global_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
     # differentiable selection using where().
     from ..autograd.tensor import where
 
-    data_max = np.full((num_graphs,) + x.shape[1:], -np.inf)
-    np.maximum.at(data_max, batch, x.data)
+    plan = SegmentPlan(batch, num_graphs)
+    tail = x.shape[1:]
+    width = int(np.prod(tail)) if tail else 1
+    data_max = kernel("segment_max")(plan, x.data.reshape(x.shape[0], width))
+    data_max = data_max.reshape((num_graphs,) + tail)
     is_max = x.data == data_max[batch]
     # Zero out non-max entries (ties share gradient via scatter_add below,
     # then are divided by the tie count).
-    ties = np.zeros((num_graphs,) + x.shape[1:])
-    np.add.at(ties, batch, is_max.astype(np.float64))
+    ties = kernel("scatter_add")(
+        plan, is_max.reshape(x.shape[0], width).astype(np.float64)
+    ).reshape((num_graphs,) + tail)
     selected = where(is_max, x, Tensor(np.zeros(x.shape)))
     pooled = selected.scatter_add(batch, num_graphs)
     return pooled / Tensor(np.maximum(ties, 1.0))
@@ -65,8 +70,8 @@ def global_mean_pool_np(x: np.ndarray, batch: np.ndarray, num_graphs: int) -> np
 def global_max_pool_np(x: np.ndarray, batch: np.ndarray, num_graphs: int) -> np.ndarray:
     """Batched elementwise-max pooling: ``(B, N, F) -> (B, G, F)``."""
     B, _, F = x.shape
-    out = np.full((B * num_graphs, F), -np.inf)
     flat_ids = (np.arange(B)[:, None] * num_graphs + batch[None, :]).reshape(-1)
-    np.maximum.at(out, flat_ids, x.reshape(-1, F))
+    plan = SegmentPlan(flat_ids, B * num_graphs)
+    out = kernel("segment_max")(plan, x.reshape(-1, F))
     out[~np.isfinite(out)] = 0.0  # empty graphs
     return out.reshape(B, num_graphs, F)

@@ -42,6 +42,9 @@ class PerfCounters:
         Flow-index requests served from the cross-explainer cache.
     context_cache_hits:
         Node-context requests served from the cache.
+    explanation_cache_hits:
+        Whole ``explain_node`` results served from Revelio's memo (see
+        :mod:`repro.core.revelio`).
     stage_seconds:
         Accumulated wall-clock per named stage (see :meth:`stage`).
     """
@@ -53,6 +56,7 @@ class PerfCounters:
         "flow_enumerations",
         "flow_cache_hits",
         "context_cache_hits",
+        "explanation_cache_hits",
         "stage_seconds",
     )
 
@@ -67,6 +71,7 @@ class PerfCounters:
         self.flow_enumerations = 0
         self.flow_cache_hits = 0
         self.context_cache_hits = 0
+        self.explanation_cache_hits = 0
         self.stage_seconds: dict[str, float] = {}
 
     def snapshot(self) -> dict:
@@ -78,6 +83,7 @@ class PerfCounters:
             "flow_enumerations": self.flow_enumerations,
             "flow_cache_hits": self.flow_cache_hits,
             "context_cache_hits": self.context_cache_hits,
+            "explanation_cache_hits": self.explanation_cache_hits,
             "stage_seconds": dict(self.stage_seconds),
         }
 

@@ -1,0 +1,40 @@
+"""Sparse CSR compute core: compiled segment structures + kernel registry.
+
+The package has three small parts:
+
+- :mod:`repro.sparse.structure` — :class:`SegmentPlan`, the compiled
+  (argsort + indptr + lazy CSR) form of a fixed scatter index, plus the
+  layer-edge id helpers shared with :mod:`repro.nn` and :mod:`repro.flows`.
+- :mod:`repro.sparse.kernels` — the per-op backend registry (``scipy``
+  required, ``numpy`` dense-scatter reference) behind :func:`kernel`.
+- :mod:`repro.sparse.cache` — :func:`sparse_cache`, attaching a
+  :class:`GraphSparseCache` to each ``Graph`` so plans are built once per
+  graph and reused across every mask variant and explainer.
+"""
+
+from .cache import GraphSparseCache, sparse_cache
+from .kernels import (
+    OPS,
+    available_backends,
+    current_backend,
+    kernel,
+    register_kernel,
+    set_backend,
+    use_backend,
+)
+from .structure import SegmentPlan, augmented_edges, num_layer_edges
+
+__all__ = [
+    "SegmentPlan",
+    "GraphSparseCache",
+    "sparse_cache",
+    "augmented_edges",
+    "num_layer_edges",
+    "OPS",
+    "kernel",
+    "register_kernel",
+    "set_backend",
+    "use_backend",
+    "current_backend",
+    "available_backends",
+]

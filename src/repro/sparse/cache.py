@@ -1,0 +1,79 @@
+"""Per-graph sparse-structure cache.
+
+A :class:`~repro.graph.data.Graph`'s connectivity is immutable in practice
+— every mutation path (``with_edges``, ``copy``, dataset regeneration)
+builds a *new* ``edge_index`` array — so the compiled scatter structure can
+be attached to the graph object itself and validated by array identity, a
+pointer comparison instead of a hash of ``O(E)`` bytes per forward.
+
+:func:`sparse_cache` is the single entry point: the first call on a graph
+compiles the augmented edge arrays, the destination
+:class:`~repro.sparse.structure.SegmentPlan` and (lazily) the GCN
+``deg_inv_sqrt`` vector; every later call — across all ``B`` mask variants
+of a batched forward, across layers, across explainers — returns the same
+object for free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .structure import SegmentPlan, augmented_edges
+
+__all__ = ["GraphSparseCache", "sparse_cache"]
+
+
+class GraphSparseCache:
+    """Compiled CSR/CSC scatter structures for one graph's connectivity.
+
+    Attributes
+    ----------
+    src, dst:
+        ``(E+N,)`` endpoints of the augmented (self-loop-appended) edge set
+        — the layer-edge id space shared by convs, masks and flows.
+    dst_plan:
+        :class:`SegmentPlan` over ``dst`` — the message-aggregation scatter
+        every conv layer dispatches through.
+    deg_inv_sqrt:
+        ``(N,)`` symmetric-renormalization vector ``D̂^{-1/2}`` of the
+        intact augmented adjacency (lazy; read straight off
+        ``dst_plan.counts``, no second bincount).
+    """
+
+    __slots__ = ("edge_index", "num_nodes", "src", "dst", "dst_plan",
+                 "_deg_inv_sqrt")
+
+    def __init__(self, edge_index: np.ndarray, num_nodes: int):
+        self.edge_index = edge_index
+        self.num_nodes = int(num_nodes)
+        self.src, self.dst = augmented_edges(edge_index, self.num_nodes)
+        self.dst_plan = SegmentPlan(self.dst, self.num_nodes)
+        self._deg_inv_sqrt: np.ndarray | None = None
+
+    @property
+    def deg_inv_sqrt(self) -> np.ndarray:
+        if self._deg_inv_sqrt is None:
+            # dst_plan.counts *is* the augmented in-degree.
+            self._deg_inv_sqrt = 1.0 / np.sqrt(np.maximum(self.dst_plan.counts, 1.0))
+        return self._deg_inv_sqrt
+
+    def __repr__(self) -> str:
+        return (f"GraphSparseCache(num_nodes={self.num_nodes}, "
+                f"num_layer_edges={self.src.shape[0]})")
+
+
+def sparse_cache(graph) -> GraphSparseCache:
+    """The graph's compiled sparse structure, built on first use.
+
+    Validity is an identity check on ``graph.edge_index``: all connectivity
+    mutations in this library replace the array (``with_edges``, ``copy``
+    create fresh ``Graph`` objects; ``validate()`` keeps the same int64
+    array), so ``is`` is both sound and O(1).
+    """
+    cached = getattr(graph, "_sparse_cache", None)
+    if cached is not None and cached.edge_index is graph.edge_index \
+            and cached.num_nodes == graph.num_nodes:
+        return cached
+    cache = GraphSparseCache(graph.edge_index, graph.num_nodes)
+    graph._sparse_cache = cache
+    return cache

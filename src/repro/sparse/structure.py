@@ -1,0 +1,118 @@
+"""Compiled CSR segment structures — the data layout of the sparse core.
+
+Every hot operation in the batched engine is a *segment reduction*: sum
+(or max) per-edge payloads into per-node rows, grouped by a fixed integer
+index (the destination node of each edge, the graph id of each node, the
+layer edge of each flow). The index never changes between calls — only
+the payloads do — yet the pre-refactor code paid a fresh COO→CSR
+conversion (an ``O(A log A)`` sort) inside *every* scatter.
+
+:class:`SegmentPlan` compiles the index once: a stable argsort, the CSR
+``indptr`` boundaries, per-segment counts, and (lazily) the scipy CSR
+incidence matrix assembled directly from those arrays with no conversion
+pass. Kernels in :mod:`repro.sparse.kernels` consume the plan; callers
+cache plans per graph via :mod:`repro.sparse.cache`.
+
+This module also owns the layer-edge id convention (data edges ``[0, E)``
+then one self-loop per node, ids ``[E, E+N)``) that
+:mod:`repro.nn.message_passing` and :mod:`repro.flows` share —
+``augmented_edges`` / ``num_layer_edges`` live here so the graph layer
+can build sparse caches without importing ``repro.nn``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import KernelError
+
+__all__ = ["SegmentPlan", "augmented_edges", "num_layer_edges"]
+
+
+def augmented_edges(edge_index: np.ndarray, num_nodes: int) -> tuple[np.ndarray, np.ndarray]:
+    """``(src, dst)`` for data edges followed by one self-loop per node.
+
+    The layer-edge id space of the whole library: position ``i < E`` is
+    data edge ``i`` of ``edge_index``, position ``E + v`` is node ``v``'s
+    self-loop (re-exported as ``repro.nn.message_passing.augment_edges``).
+    """
+    loops = np.arange(num_nodes, dtype=np.int64)
+    src = np.concatenate([edge_index[0], loops])
+    dst = np.concatenate([edge_index[1], loops])
+    return src, dst
+
+
+def num_layer_edges(num_edges: int, num_nodes: int) -> int:
+    """Size of the layer-edge id space (data edges + self-loops)."""
+    return num_edges + num_nodes
+
+
+class SegmentPlan:
+    """Compiled scatter/segment-reduce structure for a fixed ``(index, num_rows)``.
+
+    Parameters
+    ----------
+    index:
+        ``(A,)`` destination segment per item, values in ``[0, num_rows)``.
+    num_rows:
+        Number of output segments ``N``.
+
+    Attributes
+    ----------
+    order:
+        ``(A,)`` stable permutation sorting items by segment.
+    indptr:
+        ``(N+1,)`` CSR row boundaries into ``order``: the items of segment
+        ``r`` are ``order[indptr[r]:indptr[r+1]]``.
+    counts:
+        ``(N,)`` items per segment (``float64`` in-degree when the index is
+        an edge-destination array).
+    matrix:
+        Lazily built ``(N, A)`` scipy CSR incidence with unit data —
+        ``matrix @ values`` is the segment sum at sparse-BLAS speed.
+        Assembled straight from ``(order, indptr)``: no COO conversion.
+    """
+
+    __slots__ = ("index", "num_rows", "num_items", "order", "indptr",
+                 "counts", "_matrix")
+
+    def __init__(self, index: np.ndarray, num_rows: int):
+        index = np.asarray(index, dtype=np.int64)
+        if index.ndim != 1:
+            raise KernelError(f"segment index must be 1-D, got shape {index.shape}")
+        num_rows = int(num_rows)
+        if index.size and (index.min() < 0 or index.max() >= num_rows):
+            raise KernelError(
+                f"segment index values must lie in [0, {num_rows}), got "
+                f"range [{int(index.min())}, {int(index.max())}]"
+            )
+        self.index = index
+        self.num_rows = num_rows
+        self.num_items = index.shape[0]
+        self.counts = np.bincount(index, minlength=num_rows).astype(np.float64)
+        self.order = np.argsort(index, kind="stable")
+        self.indptr = np.zeros(num_rows + 1, dtype=np.int64)
+        np.cumsum(self.counts, out=self.indptr[1:], dtype=np.int64)
+        self._matrix: sp.csr_matrix | None = None
+
+    @property
+    def matrix(self) -> sp.csr_matrix:
+        """``(num_rows, num_items)`` unit-data CSR incidence of the index."""
+        if self._matrix is None:
+            self._matrix = sp.csr_matrix(
+                (np.ones(self.num_items), self.order, self.indptr),
+                shape=(self.num_rows, self.num_items),
+            )
+        return self._matrix
+
+    def check_shape(self, num_items: int, num_rows: int) -> None:
+        """Raise unless this plan was compiled for the given dimensions."""
+        if num_items != self.num_items or num_rows != self.num_rows:
+            raise KernelError(
+                f"segment plan compiled for ({self.num_items} items, "
+                f"{self.num_rows} rows) applied to ({num_items}, {num_rows})"
+            )
+
+    def __repr__(self) -> str:
+        return f"SegmentPlan(num_items={self.num_items}, num_rows={self.num_rows})"

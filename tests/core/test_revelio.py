@@ -239,3 +239,72 @@ class TestAblations:
         rev = Revelio(node_model, epochs=15, mask_activation=activation, seed=0)
         e = rev.explain(mini_ba_shapes.graph, target=good_motif_node)
         assert np.isfinite(e.edge_scores).all()
+
+
+class TestExplanationMemo:
+    """The whole-result memo behind the warm-cache speedup."""
+
+    def test_repeat_explain_is_a_cache_hit(self, node_model, mini_ba_shapes,
+                                           good_motif_node):
+        from repro.core.revelio import clear_explanation_cache
+        from repro.obs import PERF
+
+        rev = Revelio(node_model, epochs=15, seed=0)
+        clear_explanation_cache()
+        first = rev.explain(mini_ba_shapes.graph, target=good_motif_node)
+        hits_before = PERF.explanation_cache_hits
+        second = rev.explain(mini_ba_shapes.graph, target=good_motif_node)
+        assert PERF.explanation_cache_hits == hits_before + 1
+        np.testing.assert_array_equal(first.edge_scores, second.edge_scores)
+        np.testing.assert_array_equal(first.flow_scores, second.flow_scores)
+        # Memo hits hand out copies: mutating one result must not leak
+        # into the cache or other callers.
+        assert second.edge_scores is not first.edge_scores
+        second.edge_scores[:] = -1.0
+        third = rev.explain(mini_ba_shapes.graph, target=good_motif_node)
+        np.testing.assert_array_equal(third.edge_scores, first.edge_scores)
+
+    def test_disabled_context_bypasses_memo(self, node_model, mini_ba_shapes,
+                                            good_motif_node):
+        from repro.core.revelio import (clear_explanation_cache,
+                                        explanation_cache_disabled)
+        from repro.obs import PERF
+
+        rev = Revelio(node_model, epochs=15, seed=0)
+        clear_explanation_cache()
+        rev.explain(mini_ba_shapes.graph, target=good_motif_node)
+        hits_before = PERF.explanation_cache_hits
+        with explanation_cache_disabled():
+            rev.explain(mini_ba_shapes.graph, target=good_motif_node)
+        assert PERF.explanation_cache_hits == hits_before
+
+    def test_hyperparameters_separate_entries(self, node_model, mini_ba_shapes,
+                                              good_motif_node):
+        from repro.core.revelio import clear_explanation_cache
+        from repro.obs import PERF
+
+        clear_explanation_cache()
+        Revelio(node_model, epochs=15, seed=0).explain(
+            mini_ba_shapes.graph, target=good_motif_node)
+        hits_before = PERF.explanation_cache_hits
+        Revelio(node_model, epochs=16, seed=0).explain(
+            mini_ba_shapes.graph, target=good_motif_node)
+        assert PERF.explanation_cache_hits == hits_before
+
+    def test_subclasses_do_not_collide(self, node_model, mini_ba_shapes,
+                                       good_motif_node):
+        """Regression: TopKRevelio must never be served a Revelio result."""
+        from repro.core import TopKRevelio
+        from repro.core.revelio import clear_explanation_cache
+
+        clear_explanation_cache()
+        Revelio(node_model, epochs=15, seed=0).explain(
+            mini_ba_shapes.graph, target=good_motif_node)
+        topk = TopKRevelio(node_model, k=4, epochs=15, seed=0)
+        e = topk.explain(mini_ba_shapes.graph, target=good_motif_node)
+        assert e.method == "revelio_topk"
+        assert "selected_flows" in e.meta
+        # Two differently-configured TopK instances stay separate too.
+        e8 = TopKRevelio(node_model, k=8, epochs=15, seed=0).explain(
+            mini_ba_shapes.graph, target=good_motif_node)
+        assert e8.meta["params"]["k"] == 8

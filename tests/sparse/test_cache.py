@@ -1,0 +1,46 @@
+"""Per-graph sparse-structure caching and identity-based invalidation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph import Graph
+from repro.sparse import GraphSparseCache, sparse_cache
+
+
+def _triangle() -> Graph:
+    edge_index = np.array([[0, 1, 2], [1, 2, 0]])
+    x = np.eye(3)
+    return Graph(edge_index=edge_index, x=x)
+
+
+class TestGraphSparseCache:
+    def test_augmented_structure(self):
+        g = _triangle()
+        cache = GraphSparseCache(g.edge_index, g.num_nodes)
+        assert cache.src.shape == (6,)  # 3 data edges + 3 self-loops
+        assert cache.dst_plan.num_rows == 3
+        # Augmented in-degree of a directed triangle + self-loops is 2.
+        np.testing.assert_allclose(cache.dst_plan.counts, 2.0)
+        np.testing.assert_allclose(cache.deg_inv_sqrt, 1.0 / np.sqrt(2.0))
+        assert cache.deg_inv_sqrt is cache.deg_inv_sqrt  # lazy, then cached
+
+    def test_sparse_cache_reuses_across_calls(self):
+        g = _triangle()
+        assert sparse_cache(g) is sparse_cache(g)
+
+    def test_with_edges_gets_fresh_cache(self):
+        g = _triangle()
+        first = sparse_cache(g)
+        sub = g.with_edges(np.array([True, False, True]))
+        second = sparse_cache(sub)
+        assert second is not first
+        assert second.src.shape == (5,)
+        # The original graph keeps its own cache.
+        assert sparse_cache(g) is first
+
+    def test_replaced_edge_index_invalidates(self):
+        g = _triangle()
+        first = sparse_cache(g)
+        g.edge_index = g.edge_index.copy()  # same content, new array
+        assert sparse_cache(g) is not first

@@ -1,0 +1,68 @@
+"""SegmentPlan compilation: validation, CSR assembly, shape guard."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.sparse import SegmentPlan, augmented_edges, num_layer_edges
+
+
+class TestSegmentPlan:
+    def test_compiles_order_indptr_counts(self):
+        index = np.array([2, 0, 2, 1, 0])
+        plan = SegmentPlan(index, 3)
+        assert plan.num_items == 5
+        assert plan.num_rows == 3
+        np.testing.assert_array_equal(plan.counts, [2.0, 1.0, 2.0])
+        np.testing.assert_array_equal(plan.indptr, [0, 2, 3, 5])
+        # Stable sort: within a segment, items keep their original order.
+        np.testing.assert_array_equal(plan.order, [1, 4, 3, 0, 2])
+
+    def test_matrix_is_segment_sum(self):
+        rng = np.random.default_rng(0)
+        index = rng.integers(0, 7, size=40)
+        values = rng.normal(size=(40, 3))
+        plan = SegmentPlan(index, 7)
+        expected = np.zeros((7, 3))
+        np.add.at(expected, index, values)
+        np.testing.assert_allclose(plan.matrix @ values, expected, atol=1e-12)
+
+    def test_matrix_is_cached(self):
+        plan = SegmentPlan(np.array([0, 1]), 2)
+        assert plan.matrix is plan.matrix
+
+    def test_empty_index(self):
+        plan = SegmentPlan(np.array([], dtype=np.int64), 4)
+        assert plan.num_items == 0
+        np.testing.assert_array_equal(plan.counts, np.zeros(4))
+        assert plan.matrix.shape == (4, 0)
+
+    def test_rejects_2d_index(self):
+        with pytest.raises(KernelError, match="1-D"):
+            SegmentPlan(np.zeros((2, 2), dtype=np.int64), 2)
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(KernelError, match=r"\[0, 3\)"):
+            SegmentPlan(np.array([0, 3]), 3)
+        with pytest.raises(KernelError):
+            SegmentPlan(np.array([-1, 0]), 3)
+
+    def test_check_shape_guard(self):
+        plan = SegmentPlan(np.array([0, 1, 1]), 2)
+        plan.check_shape(3, 2)
+        with pytest.raises(KernelError, match="compiled for"):
+            plan.check_shape(4, 2)
+        with pytest.raises(KernelError, match="compiled for"):
+            plan.check_shape(3, 5)
+
+
+class TestAugmentedEdges:
+    def test_layer_edge_id_convention(self):
+        edge_index = np.array([[0, 2], [1, 0]])
+        src, dst = augmented_edges(edge_index, 3)
+        # Data edges [0, E) first, then one self-loop per node at [E, E+N).
+        np.testing.assert_array_equal(src, [0, 2, 0, 1, 2])
+        np.testing.assert_array_equal(dst, [1, 0, 0, 1, 2])
+        assert num_layer_edges(2, 3) == 5
