@@ -30,7 +30,7 @@ from .errors import ReproError
 from .explain import EXPLAINERS, Explainer, Explanation, make_explainer
 from .flows import FlowIndex, cached_enumerate_flows, count_flows, enumerate_flows, match_flows
 from .graph import Graph, GraphBatch
-from .instrumentation import PERF, perf_snapshot, reset_perf
+from .obs.counters import PERF, perf_snapshot, reset_perf
 from .nn import GNN, Trainer, build_model, get_model
 from .version import __version__
 

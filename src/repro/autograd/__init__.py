@@ -15,6 +15,7 @@ from .functional import (
     one_hot,
     segment_softmax,
     softmax,
+    spmm,
 )
 from .grad_check import check_gradients, numerical_grad
 from .layers import MLP, LayerNorm, Linear, ReLU, Sequential, Sigmoid, Tanh
@@ -53,6 +54,7 @@ __all__ = [
     "cross_entropy",
     "binary_cross_entropy",
     "segment_softmax",
+    "spmm",
     "dropout",
     "one_hot",
     "numerical_grad",

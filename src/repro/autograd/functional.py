@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import AutogradError, ShapeError
+from ..sparse import SegmentPlan, kernel, plan_for
 from .tensor import Tensor, as_tensor
 
 __all__ = [
@@ -19,9 +20,42 @@ __all__ = [
     "cross_entropy",
     "binary_cross_entropy",
     "segment_softmax",
+    "spmm",
     "dropout",
     "one_hot",
 ]
+
+
+def spmm(x: Tensor, matrix, matrix_t) -> Tensor:
+    """Sparse aggregation ``matrix @ x`` on the tape.
+
+    The fused fast path for unmasked message passing: with a cached
+    ``(N, N)`` aggregation operator (e.g. ``sparse_cache(graph).adj_norm``)
+    the whole gather → edge-scale → scatter chain of a conv layer collapses
+    into one sparse matmul, and its adjoint into another — no per-edge
+    ``(E+N, F)`` intermediate is ever materialized. Both directions
+    dispatch through the active :mod:`repro.sparse` kernel backend's
+    ``spmm`` op, so the numpy backend still reproduces the dense-scatter
+    (``np.add.at``) reference semantics for oracle comparisons.
+
+    Parameters
+    ----------
+    x:
+        ``(N, F)`` dense operand.
+    matrix:
+        Sparse ``(M, N)`` forward operator.
+    matrix_t:
+        Its precompiled transpose — the backward pass is
+        ``dX = matrix.T @ g`` and a cached transpose keeps the adjoint as
+        cheap as the forward (``sparse_cache`` exposes ``adj_t`` /
+        ``adj_norm_t`` for exactly this).
+    """
+    x = as_tensor(x)
+
+    def backward(g, grads):
+        x._receive(kernel("spmm")(matrix_t, g), grads)
+
+    return x._unary_op(kernel("spmm")(matrix, x.data), backward)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -88,11 +122,16 @@ def binary_cross_entropy(probs: Tensor, targets: np.ndarray, eps: float = 1e-12)
     return loss.mean()
 
 
-def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int,
+                    plan: SegmentPlan | None = None) -> Tensor:
     """Softmax over groups of rows sharing a segment id.
 
     This is the attention normalization of GAT: for each destination node,
     the attention logits of its incoming edges are softmax-normalized.
+
+    Every segment reduction inside — the stabilizing per-segment max, the
+    denominator scatter-add, and both ops' adjoints — dispatches through
+    the active :mod:`repro.sparse` kernel backend over one shared plan.
 
     Parameters
     ----------
@@ -103,19 +142,30 @@ def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) 
         edge).
     num_segments:
         Total number of segments (number of nodes).
+    plan:
+        Optional precompiled :class:`SegmentPlan` over
+        ``(segment_ids, num_segments)`` — e.g. a per-graph
+        ``sparse_cache(graph).dst_plan``. Defaults to the identity-keyed
+        ``plan_for`` memo.
     """
     scores = as_tensor(scores)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if plan is None:
+        plan = plan_for(segment_ids, num_segments)
+    else:
+        plan.check_shape(segment_ids.shape[0], int(num_segments))
     # Per-segment max for stability (data-level; constant w.r.t. autograd,
     # which is valid because subtracting any constant leaves softmax fixed).
-    seg_max = np.full((num_segments,) + scores.shape[1:], -np.inf)
-    np.maximum.at(seg_max, segment_ids, scores.data)
+    tail = scores.shape[1:]
+    width = int(np.prod(tail)) if tail else 1
+    flat = scores.data.reshape(scores.shape[0], width)
+    seg_max = kernel("segment_max")(plan, flat).reshape((num_segments,) + tail)
     seg_max[~np.isfinite(seg_max)] = 0.0  # empty segments
 
     shifted = scores - Tensor(seg_max[segment_ids])
     exp = shifted.exp()
-    denom = exp.scatter_add(segment_ids, num_segments)
-    return exp / denom.gather_rows(segment_ids)
+    denom = exp.scatter_add(segment_ids, num_segments, plan=plan)
+    return exp / denom.gather_rows(segment_ids, plan=plan)
 
 
 def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:

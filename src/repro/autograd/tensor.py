@@ -20,6 +20,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import AutogradError, ShapeError
+from ..sparse import SegmentPlan, kernel, plan_for
 
 __all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled", "concat", "stack", "where"]
 
@@ -86,7 +87,8 @@ class Tensor:
         Optional label used in ``repr`` and error messages.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_retain", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "_retain", "_csr", "name")
 
     # Make numpy defer binary ops (np.ndarray * Tensor) to Tensor.
     __array_priority__ = 100.0
@@ -98,6 +100,7 @@ class Tensor:
         self._backward: BackwardFn | None = None
         self._parents: tuple[Tensor, ...] = ()
         self._retain = False
+        self._csr = None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -144,6 +147,19 @@ class Tensor:
         """Return a detached deep copy."""
         return Tensor(self.data.copy(), requires_grad=False)
 
+    def annotate_sparse(self, matrix, matrix_t) -> "Tensor":
+        """Attach a CSR twin of :attr:`data` for constant-operand matmuls.
+
+        ``matrix`` must equal :attr:`data` and ``matrix_t`` its transpose
+        (see :func:`repro.sparse.feature_csr`). While this tensor does not
+        require grad, ``self @ other`` then runs ``matrix @ other`` forward
+        and ``matrix_t @ g`` for the weight adjoint — turning the
+        first-layer GEMM over bag-of-words features into a sparse matvec
+        stack. Returns ``self``.
+        """
+        self._csr = (matrix, matrix_t)
+        return self
+
     def retain_grad(self) -> "Tensor":
         """Request that :attr:`grad` be populated even for interior nodes.
 
@@ -177,9 +193,11 @@ class Tensor:
             return
         key = id(self)
         if key in grads:
+            # Out-of-place add: entries may alias upstream gradients (or
+            # views of them), so never accumulate with ``+=``.
             grads[key] = grads[key] + grad
         else:
-            grads[key] = np.array(grad, dtype=np.float64, copy=True)
+            grads[key] = np.asarray(grad, dtype=np.float64)
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
@@ -307,9 +325,27 @@ class Tensor:
         if self.ndim != 2 or other.ndim != 2:
             raise ShapeError(f"matmul expects 2-D tensors, got {self.shape} @ {other.shape}")
 
+        if self._csr is not None and not self.requires_grad:
+            # Sparse-feature fast path (annotate_sparse): the left operand
+            # is a constant sparse matrix, so forward and the weight
+            # adjoint are CSR matvec stacks over its nonzeros.
+            matrix, matrix_t = self._csr
+
+            def sparse_backward(g, grads):
+                if other.requires_grad:
+                    other._receive(matrix_t @ g, grads)
+
+            return self._binary_op(other, matrix @ other.data, sparse_backward)
+
         def backward(g, grads):
-            self._receive(g @ other.data.T, grads)
-            other._receive(self.data.T @ g, grads)
+            # Guard each GEMM on the parent actually needing it: the first
+            # GNN layer multiplies a constant feature matrix (N, F) with
+            # F ≫ hidden, and the unused dX = g @ W.T would be the single
+            # most expensive allocation of the whole backward pass.
+            if self.requires_grad:
+                self._receive(g @ other.data.T, grads)
+            if other.requires_grad:
+                other._receive(self.data.T @ g, grads)
 
         return self._binary_op(other, self.data @ other.data, backward)
 
@@ -434,43 +470,77 @@ class Tensor:
     def __getitem__(self, index) -> "Tensor":
         def backward(g, grads):
             full = np.zeros_like(self.data)
-            np.add.at(full, index, g)
+            # Generic fancy indexing (slices, boolean masks, multi-axis
+            # tuples) has no SegmentPlan form; row gathers that do should
+            # use gather_rows instead.
+            np.add.at(full, index, g)  # repro: noqa[RPR050]
             self._receive(full, grads)
 
         return self._unary_op(self.data[index], backward)
 
     # ------------------------------------------------------------------
-    # message-passing primitives
+    # message-passing primitives (plan-backed: forward and adjoint both
+    # dispatch through the repro.sparse kernel registry)
     # ------------------------------------------------------------------
-    def gather_rows(self, index: np.ndarray) -> "Tensor":
+    def gather_rows(self, index: np.ndarray,
+                    plan: SegmentPlan | None = None) -> "Tensor":
         """Select rows ``self[index]`` along axis 0 (``torch.index_select``).
 
         The backward pass scatter-adds gradients back to the source rows —
         the adjoint needed for per-edge message construction (``x[src]``).
+        That scatter dispatches through the active ``repro.sparse`` kernel
+        backend; pass ``plan`` (a :class:`SegmentPlan` over
+        ``(index, self.shape[0])``, e.g. ``sparse_cache(graph).src_plan``)
+        to reuse a per-graph compiled structure, or omit it and the
+        identity-keyed ``plan_for`` memo compiles one per index array.
         """
         index = np.asarray(index, dtype=np.int64)
+        num_rows = self.shape[0]
+        if plan is not None:
+            plan.check_shape(index.shape[0], num_rows)
 
         def backward(g, grads):
-            full = np.zeros_like(self.data)
-            np.add.at(full, index, g)
-            self._receive(full, grads)
+            self._receive(_scatter_rows(g, index, num_rows, plan), grads)
 
         return self._unary_op(self.data[index], backward)
 
-    def scatter_add(self, index: np.ndarray, num_rows: int) -> "Tensor":
+    def scatter_add(self, index: np.ndarray, num_rows: int,
+                    plan: SegmentPlan | None = None) -> "Tensor":
         """Sum rows of ``self`` into ``num_rows`` output slots by ``index``.
 
         ``out[index[i]] += self[i]`` — the aggregation step of message
-        passing; its adjoint is a row gather.
+        passing; its adjoint is a row gather. The forward scatter runs as
+        a compiled CSR segment sum on the active ``repro.sparse`` backend;
+        pass ``plan`` (e.g. ``sparse_cache(graph).dst_plan``) to skip even
+        the memoized plan lookup.
         """
         index = np.asarray(index, dtype=np.int64)
         if index.shape[0] != self.shape[0]:
             raise ShapeError(
                 f"scatter_add index length {index.shape[0]} != leading dim {self.shape[0]}"
             )
-        data = np.zeros((num_rows,) + self.shape[1:], dtype=np.float64)
-        np.add.at(data, index, self.data)
+        if plan is not None:
+            plan.check_shape(index.shape[0], int(num_rows))
+        data = _scatter_rows(self.data, index, int(num_rows), plan)
         return self._unary_op(data, lambda g, grads: self._receive(g[index], grads))
+
+
+def _scatter_rows(values: np.ndarray, index: np.ndarray, num_rows: int,
+                  plan: SegmentPlan | None) -> np.ndarray:
+    """Segment-sum ``values`` rows by ``index`` via the kernel registry.
+
+    Kernels operate on 2-D ``(A, W)`` payloads, so trailing axes are
+    flattened around the dispatch and restored after. ``plan`` falls back
+    to the identity-keyed ``plan_for`` memo, so repeated calls with the
+    same index array (every epoch of a training loop) compile it once.
+    """
+    if plan is None:
+        plan = plan_for(index, num_rows)
+    tail = values.shape[1:]
+    width = int(np.prod(tail)) if tail else 1
+    flat = values.reshape(values.shape[0], width)
+    out = kernel("scatter_add")(plan, flat)
+    return np.ascontiguousarray(out).reshape((num_rows,) + tail)
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:

@@ -1,7 +1,7 @@
 """repro.checks — repo-aware static analysis for the reproduction.
 
 An AST lint pass that machine-checks the invariants the reproduction's
-claims rest on, in five families:
+claims rest on, in six families:
 
 * **determinism** — no module-global RNG state, no wall-clock seeds, no
   set-order-sensitive iteration in scoring code (RPR001–RPR003);
@@ -14,7 +14,10 @@ claims rest on, in five families:
   (RPR030–RPR031);
 * **benchmark conformance** — workload keys written to BENCH_perf.json
   by ``bench_*`` scripts resolve against the declared workload registry
-  (RPR040).
+  (RPR040);
+* **scatter discipline** — no raw ``np.add.at``/``np.maximum.at`` in
+  library code outside :mod:`repro.sparse`; hot scatters dispatch
+  through the plan-backed kernel registry (RPR050).
 
 Run as ``repro lint src tests`` (CI gates on it) or through
 :func:`lint_paths` / :func:`run_lint`. Per-line suppression:
@@ -34,7 +37,7 @@ from .registry import RULES, Rule, all_rules, register, resolve_codes
 from .report import format_rule_listing, run_lint
 
 # Importing the rule modules registers their rules (stable-code registry).
-from . import api, benchconf, determinism, discipline, obsconf
+from . import api, benchconf, determinism, discipline, obsconf, scatter
 
 __all__ = [
     "Violation",
@@ -54,4 +57,5 @@ __all__ = [
     "determinism",
     "discipline",
     "obsconf",
+    "scatter",
 ]

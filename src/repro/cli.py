@@ -15,6 +15,10 @@ Commands
 ``repro trace summarize runs/fid_trace.jsonl``
                                         per-method, per-stage time breakdown
 ``repro lint src tests``                repo-aware static analysis (RPRxxx rules)
+``repro bench --check``                 gate the latest BENCH_history.jsonl run
+                                        against the committed BENCH_perf.json
+                                        floors (exit 0 pass / 1 regression /
+                                        2 unreadable artifacts)
 """
 
 from __future__ import annotations
@@ -105,6 +109,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "(e.g. RPR001,RPR010); default all")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print every registered rule and exit")
+
+    p_bench = sub.add_parser(
+        "bench", help="inspect or gate the benchmark artifacts")
+    p_bench.add_argument("--check", action="store_true",
+                         help="diff the latest BENCH_history.jsonl run against "
+                              "the committed BENCH_perf.json floors; exit 1 on "
+                              "any regression, 2 on unreadable artifacts")
+    p_bench.add_argument("--history", default="BENCH_history.jsonl",
+                         help="benchmark run history (default: %(default)s)")
+    p_bench.add_argument("--reference", default="BENCH_perf.json",
+                         help="committed floors to gate against "
+                              "(default: %(default)s)")
 
     p_report = sub.add_parser("report", help="aggregate benchmark artifacts into markdown")
     p_report.add_argument("--results", default="benchmarks/results",
@@ -230,6 +246,29 @@ def main(argv: list[str] | None = None) -> int:
             if args.artifact == "alpha":
                 curves = {f"alpha={a}": c for a, c in curves.items()}
             print(render_curves(curves))
+        return 0
+
+    if args.command == "bench":
+        from .errors import BenchError
+        from .eval.benchgate import load_latest_run, run_bench_check
+
+        if args.check:
+            return run_bench_check(history_path=args.history,
+                                   reference_path=args.reference)
+        try:
+            record = load_latest_run(args.history)
+        except BenchError as exc:
+            print(f"bench: {exc}", file=sys.stderr)
+            return 2
+        print(f"latest run: {record.get('timestamp', '?')} "
+              f"({record.get('git_sha') or '?'})")
+        for name, entry in sorted(record["payload"].get("workloads", {}).items()):
+            speedup = entry.get("speedup_largest", entry.get("speedup"))
+            if speedup is None:
+                speedup = entry.get("orchestration", {}).get("speedup")
+            detail = f"speedup {speedup}x" if speedup is not None else \
+                f"overhead {entry.get('overhead_fraction', '?')}"
+            print(f"  {name}: {detail}")
         return 0
 
     if args.command == "report":

@@ -55,3 +55,8 @@ class CheckError(ReproError):
 class KernelError(ReproError):
     """Raised for invalid sparse-kernel registry requests (unknown ops or
     backends, mismatched scatter plans)."""
+
+
+class BenchError(ReproError):
+    """Raised for unreadable benchmark artifacts (missing or malformed
+    BENCH_history.jsonl / BENCH_perf.json)."""

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..explain.base import Explainer, Explanation
-from ..instrumentation import PERF, PerfCounters
+from ..obs.counters import PERF, PerfCounters
 from .fidelity import Instance
 
 __all__ = ["TimingResult", "time_explainer", "PERF"]

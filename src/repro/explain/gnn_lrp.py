@@ -28,6 +28,7 @@ from ..errors import ExplainerError
 from ..flows import FlowIndex, cached_enumerate_flows
 from ..graph import Graph
 from ..nn.models import GNN
+from ..sparse import kernel, plan_for
 from .base import Explainer, Explanation
 
 __all__ = ["GNNLRP"]
@@ -149,11 +150,14 @@ class GNNLRP(Explainer):
 
         # Edge transfer: signed relevance summed over all flows through the
         # edge at any layer (decomposition semantics: relevances add up).
-        edge_scores = np.zeros(flow_index.num_edges)
-        for l in range(num_layers):
-            ids = flow_index.layer_edges[:, l]
-            data_edges = ids < flow_index.num_edges
-            np.add.at(edge_scores, ids[data_edges], scores[data_edges])
+        # One plan-backed scatter over the full augmented id space [0, E+N)
+        # — flow f contributes its score once per layer — then the data-edge
+        # prefix is the per-edge relevance (self-loop ids fall off the end).
+        flat_ids = np.ascontiguousarray(flow_index.layer_edges.reshape(-1))
+        tiled = np.repeat(scores, num_layers)
+        plan = plan_for(flat_ids, width)
+        aug_scores = kernel("scatter_add")(plan, tiled[:, None])
+        edge_scores = np.ascontiguousarray(aug_scores[:flow_index.num_edges, 0])
 
         return Explanation(
             edge_scores=edge_scores,

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..errors import FlowError
 from ..graph import Graph
-from ..instrumentation import PERF
+from ..obs.counters import PERF
 from .enumeration import DEFAULT_MAX_FLOWS, FlowIndex, enumerate_flows
 
 __all__ = [

@@ -1,13 +1,24 @@
-"""Backward-compat shim: performance counters moved to :mod:`repro.obs`.
+"""Deprecated shim: performance counters moved to :mod:`repro.obs`.
 
 The counters now live in :mod:`repro.obs.counters` as the counter half of
 the observability subsystem (the tracer in :mod:`repro.obs.trace` is the
 other half). Import from :mod:`repro.obs` in new code; this module keeps
-``from repro.instrumentation import PERF`` working.
+``from repro.instrumentation import PERF`` working but warns on import —
+no internal code imports it anymore, so the warning reaches exactly the
+external callers who need to migrate.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from .obs.counters import PERF, PerfCounters, perf_snapshot, reset_perf
 
 __all__ = ["PerfCounters", "PERF", "perf_snapshot", "reset_perf"]
+
+warnings.warn(
+    "repro.instrumentation is deprecated; import PERF/PerfCounters/"
+    "perf_snapshot/reset_perf from repro.obs instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -13,8 +13,8 @@ import numpy as np
 from ..autograd import Parameter, Tensor, concat, segment_softmax
 from ..autograd.init import glorot_uniform, zeros
 from ..rng import ensure_rng
-from ..sparse import GraphSparseCache
-from .message_passing import GraphConv, augment_edges
+from ..sparse import GraphSparseCache, edge_cache
+from .message_passing import GraphConv
 
 __all__ = ["GATConv"]
 
@@ -59,8 +59,12 @@ class GATConv(GraphConv):
         self.bias = Parameter(zeros((bias_dim,)), name="bias")
 
     def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int,
-                edge_mask: Tensor | None = None) -> Tensor:
-        src, dst = augment_edges(edge_index, num_nodes)
+                edge_mask: Tensor | None = None,
+                cache: GraphSparseCache | None = None) -> Tensor:
+        if cache is None:
+            cache = edge_cache(edge_index, num_nodes)
+        src, dst = cache.src, cache.dst
+        src_plan, dst_plan = cache.src_plan, cache.dst_plan
         edge_mask = self._check_mask(edge_mask, edge_index.shape[1], num_nodes)
         num_aug = src.shape[0]
 
@@ -68,16 +72,17 @@ class GATConv(GraphConv):
         # Attention logits: a_src·h_i + a_dst·h_j per head.
         alpha_src = (h * self.att_src).sum(axis=-1)  # (N, H)
         alpha_dst = (h * self.att_dst).sum(axis=-1)  # (N, H)
-        logits = (alpha_src.gather_rows(src) + alpha_dst.gather_rows(dst)).leaky_relu(
+        logits = (alpha_src.gather_rows(src, plan=src_plan)
+                  + alpha_dst.gather_rows(dst, plan=dst_plan)).leaky_relu(
             self.negative_slope
         )  # (num_aug, H)
-        attention = segment_softmax(logits, dst, num_nodes)  # (num_aug, H)
+        attention = segment_softmax(logits, dst, num_nodes, plan=dst_plan)  # (num_aug, H)
 
-        messages = h.gather_rows(src)  # (num_aug, H, F)
+        messages = h.gather_rows(src, plan=src_plan)  # (num_aug, H, F)
         messages = messages * attention.reshape(num_aug, self.heads, 1)
         if edge_mask is not None:
             messages = messages * edge_mask.reshape(num_aug, 1, 1)
-        out = messages.scatter_add(dst, num_nodes)  # (N, H, F)
+        out = messages.scatter_add(dst, num_nodes, plan=dst_plan)  # (N, H, F)
 
         if self.concat_heads:
             out = out.reshape(num_nodes, self.heads * self.out_features)

@@ -9,11 +9,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autograd import Parameter, Tensor
+from ..autograd import Parameter, Tensor, spmm
 from ..autograd.init import glorot_uniform, zeros
 from ..rng import ensure_rng
-from ..sparse import GraphSparseCache
-from .message_passing import GraphConv, augment_edges
+from ..sparse import GraphSparseCache, edge_cache
+from .message_passing import GraphConv
 
 __all__ = ["GCNConv"]
 
@@ -48,21 +48,29 @@ class GCNConv(GraphConv):
         self.bias = Parameter(zeros((out_features,)), name="bias") if bias else None
 
     def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int,
-                edge_mask: Tensor | None = None) -> Tensor:
-        src, dst = augment_edges(edge_index, num_nodes)
+                edge_mask: Tensor | None = None,
+                cache: GraphSparseCache | None = None) -> Tensor:
+        if cache is None:
+            cache = edge_cache(edge_index, num_nodes)
+        src, dst = cache.src, cache.dst
         edge_mask = self._check_mask(edge_mask, edge_index.shape[1], num_nodes)
 
         h = x @ self.weight
-        messages = h.gather_rows(src)
-        if self.normalize:
-            # Symmetric normalization over the self-loop-augmented structure.
-            deg = np.bincount(dst, minlength=num_nodes).astype(np.float64)
-            deg_inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1.0))
-            norm = deg_inv_sqrt[src] * deg_inv_sqrt[dst]
-            messages = messages * Tensor(norm[:, None])
-        if edge_mask is not None:
+        if edge_mask is None:
+            # Unmasked (training) fast path: the gather / normalize /
+            # scatter chain is one cached-CSR spmm, its adjoint one more.
+            if self.normalize:
+                out = spmm(h, cache.adj_norm, cache.adj_norm_t)
+            else:
+                out = spmm(h, cache.adj, cache.adj_t)
+        else:
+            messages = h.gather_rows(src, plan=cache.src_plan)
+            if self.normalize:
+                # Symmetric normalization over the self-loop-augmented
+                # structure (per-edge coefficient cached on the graph).
+                messages = messages * Tensor(cache.edge_norm[:, None])
             messages = messages * edge_mask
-        out = messages.scatter_add(dst, num_nodes)
+            out = messages.scatter_add(dst, num_nodes, plan=cache.dst_plan)
         if self.bias is not None:
             out = out + self.bias
         return out

@@ -44,11 +44,16 @@ class GraphConv(Module):
 
     Subclasses implement :meth:`forward` with the shared signature::
 
-        forward(x, edge_index, num_nodes, edge_mask=None) -> Tensor
+        forward(x, edge_index, num_nodes, edge_mask=None, cache=None) -> Tensor
 
     where ``edge_mask`` (if given) is a :class:`Tensor` of shape
     ``(E + N,)`` or ``(E + N, 1)`` holding a multiplier per layer edge in
-    the convention documented above.
+    the convention documented above, and ``cache`` is an optional
+    :class:`~repro.sparse.GraphSparseCache` whose compiled plans back
+    every gather/scatter in the layer (forward and adjoint). When omitted
+    the layer fetches one from the identity-keyed
+    :func:`~repro.sparse.edge_cache` memo, so training loops that pass
+    the same ``edge_index`` array each epoch never recompile.
     """
 
     def _check_mask(self, edge_mask: Tensor | None, num_edges: int, num_nodes: int) -> Tensor | None:
@@ -80,7 +85,7 @@ class GraphConv(Module):
         return edge_mask
 
     def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int,
-                edge_mask: Tensor | None = None) -> Tensor:
+                edge_mask: Tensor | None = None, cache=None) -> Tensor:
         raise NotImplementedError
 
     def forward_np_batch(self, x: np.ndarray, edge_index: np.ndarray, num_nodes: int,

@@ -17,7 +17,7 @@ from ..graph import Graph, GraphBatch
 from ..obs import PERF, span
 from ..obs.names import SPAN_MASKED_FORWARD_BATCH, STAGE_MASKED_FORWARD_BATCH
 from ..rng import ensure_rng
-from ..sparse import sparse_cache
+from ..sparse import feature_csr, sparse_cache
 from .gat import GATConv
 from .gcn import GCNConv
 from .gin import GINConv
@@ -99,7 +99,8 @@ class GNN(Module):
     def forward(self, x, edge_index: np.ndarray, num_nodes: int,
                 edge_masks: list[Tensor] | None = None,
                 batch: np.ndarray | None = None,
-                num_graphs: int | None = None) -> Tensor:
+                num_graphs: int | None = None,
+                cache=None) -> Tensor:
         """Compute logits.
 
         Parameters
@@ -115,9 +116,22 @@ class GNN(Module):
             layer (see :mod:`repro.nn.message_passing` for the id space).
         batch, num_graphs:
             For graph tasks, node→graph assignment and graph count.
+        cache:
+            Optional :class:`~repro.sparse.GraphSparseCache` shared by all
+            layers — ``forward_graph``/``forward_batch`` thread the
+            per-graph cache so every epoch of a training loop reuses one
+            compiled scatter plan per direction.
         """
         PERF.single_forwards += 1
-        h = x if isinstance(x, Tensor) else Tensor(x)
+        if isinstance(x, Tensor):
+            h = x
+        else:
+            h = Tensor(x)
+            # Bag-of-words feature matrices get a memoized CSR twin so the
+            # first layer's weight GEMM (and its adjoint) run sparse.
+            twin = feature_csr(h.data)
+            if twin is not None:
+                h.annotate_sparse(*twin)
         if edge_masks is not None and len(edge_masks) != self.num_layers:
             raise ModelError(
                 f"expected {self.num_layers} edge masks, got {len(edge_masks)}"
@@ -125,7 +139,7 @@ class GNN(Module):
         embeddings = []
         for l, conv in enumerate(self.convs):
             mask = edge_masks[l] if edge_masks is not None else None
-            h = conv(h, edge_index, num_nodes, edge_mask=mask)
+            h = conv(h, edge_index, num_nodes, edge_mask=mask, cache=cache)
             h = h.relu()
             embeddings.append(h)
         self._last_embeddings = embeddings
@@ -143,7 +157,8 @@ class GNN(Module):
 
     def forward_graph(self, graph: Graph, edge_masks: list[Tensor] | None = None) -> Tensor:
         """Logits for a single :class:`Graph` (node or graph task)."""
-        return self.forward(graph.x, graph.edge_index, graph.num_nodes, edge_masks=edge_masks)
+        return self.forward(graph.x, graph.edge_index, graph.num_nodes,
+                            edge_masks=edge_masks, cache=sparse_cache(graph))
 
     def forward_batch(self, batch: GraphBatch, edge_masks: list[Tensor] | None = None) -> Tensor:
         """Logits for a :class:`GraphBatch` (graph task)."""
@@ -152,6 +167,7 @@ class GNN(Module):
         return self.forward(
             batch.x, batch.edge_index, batch.num_nodes,
             edge_masks=edge_masks, batch=batch.batch, num_graphs=batch.num_graphs,
+            cache=sparse_cache(batch),
         )
 
     # ------------------------------------------------------------------

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor
-from ..sparse import SegmentPlan, kernel
+from ..sparse import SegmentPlan, kernel, plan_for
 
 __all__ = ["global_mean_pool", "global_sum_pool", "global_max_pool",
            "global_sum_pool_np", "global_mean_pool_np", "global_max_pool_np"]
@@ -13,14 +13,14 @@ __all__ = ["global_mean_pool", "global_sum_pool", "global_max_pool",
 
 def global_sum_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
     """Sum node embeddings per graph: ``(N, F) -> (G, F)``."""
-    return x.scatter_add(batch, num_graphs)
+    return x.scatter_add(batch, num_graphs, plan=plan_for(batch, num_graphs))
 
 
 def global_mean_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
     """Average node embeddings per graph: ``(N, F) -> (G, F)``."""
-    sums = x.scatter_add(batch, num_graphs)
-    counts = np.bincount(batch, minlength=num_graphs).astype(np.float64)
-    counts = np.maximum(counts, 1.0)
+    plan = plan_for(batch, num_graphs)
+    sums = x.scatter_add(batch, num_graphs, plan=plan)
+    counts = np.maximum(plan.counts, 1.0)
     return sums / Tensor(counts[:, None])
 
 
@@ -34,7 +34,7 @@ def global_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
     # differentiable selection using where().
     from ..autograd.tensor import where
 
-    plan = SegmentPlan(batch, num_graphs)
+    plan = plan_for(batch, num_graphs)
     tail = x.shape[1:]
     width = int(np.prod(tail)) if tail else 1
     data_max = kernel("segment_max")(plan, x.data.reshape(x.shape[0], width))
@@ -46,7 +46,7 @@ def global_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
         plan, is_max.reshape(x.shape[0], width).astype(np.float64)
     ).reshape((num_graphs,) + tail)
     selected = where(is_max, x, Tensor(np.zeros(x.shape)))
-    pooled = selected.scatter_add(batch, num_graphs)
+    pooled = selected.scatter_add(batch, num_graphs, plan=plan)
     return pooled / Tensor(np.maximum(ties, 1.0))
 
 

@@ -17,6 +17,7 @@ from ..autograd import Adam, cross_entropy, no_grad
 from ..errors import ModelError
 from ..graph import Graph, GraphBatch
 from ..rng import ensure_rng
+from ..sparse import sparse_cache
 from .models import GNN
 
 __all__ = ["TrainResult", "Trainer", "train_node_classifier", "train_graph_classifier"]
@@ -86,6 +87,13 @@ class Trainer:
         if graph.train_mask is None:
             raise ModelError("graph is missing a train_mask")
         y = graph.y
+        # Compile both scatter directions once, before the epoch loop:
+        # forward_graph threads this cache into every layer, so each epoch's
+        # forward (dst scatter) and backward (src scatter adjoint) dispatch
+        # over the same plans through the kernel registry — no per-epoch
+        # argsort, no serial np.add.at.
+        cache = sparse_cache(graph)
+        cache.src_plan
         best_val, best_state, bad_epochs = -1.0, None, 0
         history = []
         epochs_run = 0

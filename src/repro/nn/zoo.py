@@ -21,6 +21,7 @@ from pathlib import Path
 from ..datasets import GraphDataset, NodeDataset, load_dataset
 from ..errors import ModelError
 from ..graph import load_state_dict, save_state_dict
+from ..sparse import sparse_cache
 from .models import GNN, build_model
 from .train import Trainer, TrainResult
 
@@ -80,6 +81,10 @@ def train_target_model(dataset: NodeDataset | GraphDataset, conv: str,
     trainer = Trainer(model, lr=recipe.lr, weight_decay=recipe.weight_decay,
                       epochs=recipe.epochs, patience=recipe.patience, verbose=verbose)
     if dataset.task == "node":
+        # Warm the per-graph scatter plans (both directions) up front so
+        # every training epoch dispatches over the compiled structures; the
+        # same cache object then serves the explainers downstream.
+        sparse_cache(dataset.graph).src_plan
         result = trainer.fit_node(dataset.graph)
     else:
         result = trainer.fit_graphs(dataset.graphs, batch_size=recipe.batch_size, rng=seed)

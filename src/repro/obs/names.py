@@ -41,6 +41,7 @@ __all__ = [
     "WORKLOAD_OBS_OVERHEAD",
     "WORKLOAD_RUNNER_SCALING",
     "WORKLOAD_SCALING_LAW",
+    "WORKLOAD_TRAINING_EPOCH",
     "WORKLOAD_NAMES",
 ]
 
@@ -125,6 +126,9 @@ WORKLOAD_OBS_OVERHEAD = "obs_overhead"
 WORKLOAD_RUNNER_SCALING = "runner_scaling"
 #: Masked-forward time vs. graph size: CSR kernels vs. dense scatter.
 WORKLOAD_SCALING_LAW = "scaling_law"
+#: Full training epoch (forward+backward+step): plan-backed kernels vs.
+#: the np.add.at dense-scatter path, with gradient parity.
+WORKLOAD_TRAINING_EPOCH = "training_epoch"
 
 WORKLOAD_NAMES: frozenset[str] = frozenset({
     WORKLOAD_FLOWX,
@@ -134,4 +138,5 @@ WORKLOAD_NAMES: frozenset[str] = frozenset({
     WORKLOAD_OBS_OVERHEAD,
     WORKLOAD_RUNNER_SCALING,
     WORKLOAD_SCALING_LAW,
+    WORKLOAD_TRAINING_EPOCH,
 })

@@ -258,3 +258,50 @@ class TestBenchmarkConformance:
                         select=["RPR040"]).clean
         assert lint_one(make_module, "tests.scratch", source,
                         select=["RPR040"]).clean
+
+
+class TestRawUfuncScatter:
+    def test_np_add_at_in_library_flagged(self, make_module):
+        source = ("import numpy as np\n"
+                  "out = np.zeros((4, 2))\n"
+                  "np.add.at(out, [0, 1], 1.0)\n")
+        result = lint_one(make_module, "repro.flows.scratch", source,
+                          select=["RPR050"])
+        assert codes(result) == ["RPR050"]
+        assert result.violations[0].line == 3
+        assert "scatter_add" in result.violations[0].message
+
+    def test_np_maximum_at_flagged_with_segment_max_hint(self, make_module):
+        source = ("import numpy as np\n"
+                  "np.maximum.at(out, idx, vals)\n")
+        result = lint_one(make_module, "repro.nn.scratch", source,
+                          select=["RPR050"])
+        assert codes(result) == ["RPR050"]
+        assert "segment_max" in result.violations[0].message
+
+    def test_repro_sparse_is_exempt(self, make_module):
+        """The numpy backend inside repro.sparse *is* the dense reference."""
+        source = ("import numpy as np\n"
+                  "np.add.at(out, idx, vals)\n")
+        assert lint_one(make_module, "repro.sparse.scratch", source,
+                        select=["RPR050"]).clean
+
+    def test_tests_and_benchmarks_are_exempt(self, make_module):
+        source = ("import numpy as np\n"
+                  "np.add.at(out, idx, vals)\n")
+        assert lint_one(make_module, "tests.scratch", source,
+                        select=["RPR050"]).clean
+        assert lint_one(make_module, "bench_scratch", source,
+                        select=["RPR050"]).clean
+
+    def test_audited_noqa_suppresses(self, make_module):
+        source = ("import numpy as np\n"
+                  "np.add.at(out, idx, vals)  # repro: noqa[RPR050]\n")
+        assert lint_one(make_module, "repro.autograd.scratch", source,
+                        select=["RPR050"]).clean
+
+    def test_plan_backed_dispatch_is_clean(self, make_module):
+        source = ("from repro.sparse import kernel\n"
+                  "out = kernel('scatter_add')(plan, values)\n")
+        assert lint_one(make_module, "repro.nn.scratch", source,
+                        select=["RPR050"]).clean

@@ -1,0 +1,179 @@
+"""The bench regression gate: committed floors vs. the latest history run."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import BenchError
+from repro.eval.benchgate import (
+    check_run,
+    load_latest_run,
+    load_reference,
+    run_bench_check,
+)
+
+
+def reference_payload() -> dict:
+    """A miniature committed BENCH_perf.json with every threshold kind."""
+    return {
+        "scale": 0.2,
+        "speedup_floor": 3.0,
+        "workloads": {
+            "flowx": {"speedup": 3.7},
+            "gnn_lrp": {"speedup": 3.3},
+            "fidelity_curve": {"speedup": 5.4},
+            "revelio_warm_cache": {"speedup": 400.0, "floor": 1.2},
+            "scaling_law": {"speedup_largest": 3.3, "speedup_floor": 2.0},
+            "training_epoch": {"speedup_largest": 2.2, "speedup_floor": 2.0,
+                               "max_grad_diff": 0.0, "grad_tol": 1e-8},
+            "obs_overhead": {"overhead_fraction": 0.001, "ceiling": 0.05},
+            "runner_scaling": {"speedup_floor": 2.0,
+                               "orchestration": {"speedup": 3.7}},
+        },
+    }
+
+
+def passing_run() -> dict:
+    """A fresh run whose measurements meet every committed threshold."""
+    payload = copy.deepcopy(reference_payload())
+    return {"timestamp": "2026-08-08T00:00:00+00:00", "git_sha": "abc1234",
+            "payload": payload}
+
+
+def write_artifacts(tmp_path, records, reference):
+    history = tmp_path / "BENCH_history.jsonl"
+    history.write_text("".join(json.dumps(r) + "\n" for r in records))
+    ref_path = tmp_path / "BENCH_perf.json"
+    ref_path.write_text(json.dumps(reference))
+    return history, ref_path
+
+
+class TestCheckRun:
+    def test_passing_run_has_no_failures(self):
+        assert check_run(passing_run()["payload"], reference_payload()) == []
+
+    def test_per_workload_floor_regression_fails(self):
+        run = passing_run()["payload"]
+        run["workloads"]["scaling_law"]["speedup_largest"] = 1.4
+        failures = check_run(run, reference_payload())
+        assert any("scaling_law" in f and "1.4" in f for f in failures)
+
+    def test_training_epoch_floor_and_parity(self):
+        run = passing_run()["payload"]
+        run["workloads"]["training_epoch"]["speedup_largest"] = 1.1
+        run["workloads"]["training_epoch"]["max_grad_diff"] = 1e-5
+        failures = check_run(run, reference_payload())
+        assert any("training_epoch" in f and "floor" in f for f in failures)
+        assert any("max_grad_diff" in f for f in failures)
+
+    def test_warm_cache_floor_applies_to_speedup(self):
+        run = passing_run()["payload"]
+        run["workloads"]["revelio_warm_cache"]["speedup"] = 1.1
+        failures = check_run(run, reference_payload())
+        assert any("revelio_warm_cache" in f for f in failures)
+
+    def test_overhead_ceiling_exceeded_fails(self):
+        run = passing_run()["payload"]
+        run["workloads"]["obs_overhead"]["overhead_fraction"] = 0.2
+        failures = check_run(run, reference_payload())
+        assert any("obs_overhead" in f and "ceiling" in f for f in failures)
+
+    def test_orchestration_speedup_gates_runner_scaling(self):
+        run = passing_run()["payload"]
+        run["workloads"]["runner_scaling"]["orchestration"]["speedup"] = 1.2
+        failures = check_run(run, reference_payload())
+        assert any("runner_scaling" in f and "orchestration" in f
+                   for f in failures)
+
+    def test_missing_workload_is_a_regression(self):
+        run = passing_run()["payload"]
+        del run["workloads"]["training_epoch"]
+        failures = check_run(run, reference_payload())
+        assert any("training_epoch" in f and "missing" in f for f in failures)
+
+    def test_headline_trio_needs_two_wins(self):
+        run = passing_run()["payload"]
+        run["workloads"]["flowx"]["speedup"] = 1.1
+        assert check_run(run, reference_payload()) == []  # 2 of 3 still win
+        run["workloads"]["gnn_lrp"]["speedup"] = 1.2
+        failures = check_run(run, reference_payload())
+        assert any("flowx/gnn_lrp/fidelity_curve" in f for f in failures)
+
+
+class TestArtifactLoading:
+    def test_latest_parseable_line_wins(self, tmp_path):
+        old = passing_run()
+        old["git_sha"] = "old0000"
+        new = passing_run()
+        history, _ = write_artifacts(tmp_path, [old, new], reference_payload())
+        # A truncated trailing line (run killed mid-append) is skipped.
+        with history.open("a") as fh:
+            fh.write('{"timestamp": "2026-')
+        assert load_latest_run(history)["git_sha"] == "abc1234"
+
+    def test_missing_history_raises(self, tmp_path):
+        with pytest.raises(BenchError, match="not found"):
+            load_latest_run(tmp_path / "nope.jsonl")
+
+    def test_history_without_records_raises(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        path.write_text("not json\n\n[1, 2]\n")
+        with pytest.raises(BenchError, match="no parseable run record"):
+            load_latest_run(path)
+
+    def test_reference_without_workloads_raises(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text('{"speedup_floor": 3.0}')
+        with pytest.raises(BenchError, match="no workload table"):
+            load_reference(path)
+
+
+class TestExitContract:
+    def test_pass_exits_zero(self, tmp_path, capsys):
+        history, ref = write_artifacts(tmp_path, [passing_run()],
+                                       reference_payload())
+        assert run_bench_check(history_path=history, reference_path=ref) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_seeded_regression_exits_one(self, tmp_path, capsys):
+        regressed = passing_run()
+        regressed["payload"]["workloads"]["training_epoch"]["speedup_largest"] = 0.9
+        history, ref = write_artifacts(tmp_path, [passing_run(), regressed],
+                                       reference_payload())
+        assert run_bench_check(history_path=history, reference_path=ref) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "training_epoch" in out
+
+    def test_unreadable_artifacts_exit_two(self, tmp_path):
+        assert run_bench_check(history_path=tmp_path / "missing.jsonl",
+                               reference_path=tmp_path / "missing.json") == 2
+
+    def test_cli_bench_check(self, tmp_path):
+        history, ref = write_artifacts(tmp_path, [passing_run()],
+                                       reference_payload())
+        assert main(["bench", "--check", "--history", str(history),
+                     "--reference", str(ref)]) == 0
+
+    def test_cli_bench_summary(self, tmp_path, capsys):
+        history, ref = write_artifacts(tmp_path, [passing_run()],
+                                       reference_payload())
+        assert main(["bench", "--history", str(history),
+                     "--reference", str(ref)]) == 0
+        out = capsys.readouterr().out
+        assert "training_epoch" in out and "abc1234" in out
+
+
+class TestCommittedArtifacts:
+    def test_committed_history_passes_committed_floors(self):
+        """The repository's own artifacts must satisfy the gate CI runs."""
+        import repro
+        from pathlib import Path
+
+        root = Path(repro.__file__).resolve().parents[2]
+        assert run_bench_check(history_path=root / "BENCH_history.jsonl",
+                               reference_path=root / "BENCH_perf.json",
+                               verbose=False) == 0

@@ -11,7 +11,7 @@ from repro.explain.base import (
     context_cache_disabled,
 )
 from repro.explain.random_baseline import RandomExplainer
-from repro.instrumentation import PERF
+from repro.obs.counters import PERF
 
 
 @pytest.fixture(autouse=True)

@@ -16,7 +16,7 @@ from repro.flows import (
     invalidate,
 )
 from repro.graph import Graph
-from repro.instrumentation import PERF
+from repro.obs.counters import PERF
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,29 @@
+"""The repro.instrumentation compatibility shim: re-exports + deprecation."""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import warnings
+
+
+def test_import_warns_deprecation_and_reexports():
+    # The warning fires at import time, so force a fresh import even when
+    # an earlier test (or the package itself) already loaded the shim.
+    sys.modules.pop("repro.instrumentation", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        module = importlib.import_module("repro.instrumentation")
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert deprecations, "importing repro.instrumentation must warn"
+    assert "repro.obs" in str(deprecations[0].message)
+
+    # The legacy surface keeps pointing at the repro.obs implementations.
+    from repro.obs.counters import PERF, PerfCounters, perf_snapshot, reset_perf
+
+    assert module.PERF is PERF
+    assert module.PerfCounters is PerfCounters
+    assert module.perf_snapshot is perf_snapshot
+    assert module.reset_perf is reset_perf
+    assert set(module.__all__) == {"PERF", "PerfCounters", "perf_snapshot",
+                                   "reset_perf"}

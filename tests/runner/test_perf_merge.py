@@ -4,7 +4,7 @@ import multiprocessing as mp
 
 import pytest
 
-from repro.instrumentation import PerfCounters, PERF
+from repro.obs.counters import PerfCounters, PERF
 
 
 class TestMerge:

@@ -12,7 +12,7 @@ import time
 
 import pytest
 
-from repro.instrumentation import PERF
+from repro.obs.counters import PERF
 from repro.runner import (
     JobSpec,
     load_journal,

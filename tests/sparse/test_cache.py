@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph import Graph
-from repro.sparse import GraphSparseCache, sparse_cache
+from repro.sparse import GraphSparseCache, feature_csr, sparse_cache
 
 
 def _triangle() -> Graph:
@@ -44,3 +44,27 @@ class TestGraphSparseCache:
         first = sparse_cache(g)
         g.edge_index = g.edge_index.copy()  # same content, new array
         assert sparse_cache(g) is not first
+
+
+class TestFeatureCsr:
+    def test_sparse_features_get_memoized_twin(self):
+        rng = np.random.default_rng(0)
+        x = (rng.random((50, 40)) < 0.02).astype(np.float64)
+        twin = feature_csr(x)
+        assert twin is not None
+        matrix, matrix_t = twin
+        np.testing.assert_array_equal(matrix.toarray(), x)
+        np.testing.assert_array_equal(matrix_t.toarray(), x.T)
+        # Identity-keyed: the same array object returns the same twin.
+        assert feature_csr(x)[0] is matrix
+
+    def test_dense_or_nonconforming_features_opt_out(self):
+        assert feature_csr(np.ones((4, 4))) is None  # density 1.0
+        assert feature_csr(np.zeros((4, 4), dtype=np.float32)) is None
+        assert feature_csr(np.zeros(8)) is None  # 1-D
+        assert feature_csr([[0.0, 1.0]]) is None  # not an ndarray
+
+    def test_too_dense_decision_is_memoized(self):
+        x = np.ones((6, 6))
+        assert feature_csr(x) is None
+        assert feature_csr(x) is None  # second call hits the () sentinel
