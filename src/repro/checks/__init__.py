@@ -17,7 +17,10 @@ claims rest on, in six families:
   (RPR040);
 * **scatter discipline** — no raw ``np.add.at``/``np.maximum.at`` in
   library code outside :mod:`repro.sparse`; hot scatters dispatch
-  through the plan-backed kernel registry (RPR050).
+  through the plan-backed kernel registry (RPR050);
+* **event-loop discipline** — no blocking calls (``time.sleep``, sync
+  subprocess/socket/file waits) inside :mod:`repro.serve` coroutines;
+  slow work runs on the coalescer's executor thread (RPR060).
 
 Run as ``repro lint src tests`` (CI gates on it) or through
 :func:`lint_paths` / :func:`run_lint`. Per-line suppression:
@@ -37,7 +40,7 @@ from .registry import RULES, Rule, all_rules, register, resolve_codes
 from .report import format_rule_listing, run_lint
 
 # Importing the rule modules registers their rules (stable-code registry).
-from . import api, benchconf, determinism, discipline, obsconf, scatter
+from . import api, benchconf, blocking, determinism, discipline, obsconf, scatter
 
 __all__ = [
     "Violation",
@@ -54,6 +57,7 @@ __all__ = [
     "format_rule_listing",
     "api",
     "benchconf",
+    "blocking",
     "determinism",
     "discipline",
     "obsconf",

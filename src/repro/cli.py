@@ -19,6 +19,11 @@ Commands
                                         against the committed BENCH_perf.json
                                         floors (exit 0 pass / 1 regression /
                                         2 unreadable artifacts)
+``repro stats``                         hit/miss/size snapshot of every
+                                        process-global cache
+``repro serve --port 8731``             explanation-serving daemon (warm model
+                                        pool + request coalescing; see
+                                        DESIGN.md §12)
 """
 
 from __future__ import annotations
@@ -121,6 +126,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--reference", default="BENCH_perf.json",
                          help="committed floors to gate against "
                               "(default: %(default)s)")
+
+    sub.add_parser(
+        "stats", help="hit/miss/size snapshot of every process-global cache")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the explanation-serving daemon")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8731)
+    p_serve.add_argument("--max-batch", type=int, default=16,
+                         help="coalesce at most N requests per micro-batch "
+                              "(default: %(default)s)")
+    p_serve.add_argument("--max-linger-ms", type=float, default=5.0,
+                         help="wait up to MS for a batch to fill before "
+                              "flushing (default: %(default)s)")
+    p_serve.add_argument("--queue-limit", type=int, default=64,
+                         help="pending jobs per batch key before 429 "
+                              "backpressure (default: %(default)s)")
+    p_serve.add_argument("--no-coalesce", action="store_true",
+                         help="serial baseline: one request per batch, no "
+                              "deduplication")
+    p_serve.add_argument("--obs-dir", default=None, metavar="DIR",
+                         help="write one RunManifest per micro-batch under DIR")
+    p_serve.add_argument("--trace-every", type=int, default=0, metavar="N",
+                         help="record a span trace for every Nth micro-batch "
+                              "(0 = never; requires --obs-dir)")
 
     p_report = sub.add_parser("report", help="aggregate benchmark artifacts into markdown")
     p_report.add_argument("--results", default="benchmarks/results",
@@ -270,6 +300,24 @@ def main(argv: list[str] | None = None) -> int:
                 f"overhead {entry.get('overhead_fraction', '?')}"
             print(f"  {name}: {detail}")
         return 0
+
+    if args.command == "stats":
+        from .obs import format_cache_summary
+
+        for row in format_cache_summary():
+            print(row)
+        return 0
+
+    if args.command == "serve":
+        from .serve import ServeConfig, run_server
+
+        config = ServeConfig(
+            host=args.host, port=args.port, max_batch=args.max_batch,
+            max_linger_ms=args.max_linger_ms, queue_limit=args.queue_limit,
+            coalesce=not args.no_coalesce, obs_dir=args.obs_dir,
+            trace_every=args.trace_every,
+        )
+        return run_server(config)
 
     if args.command == "report":
         from .eval.report import build_report, write_report

@@ -25,7 +25,14 @@ from .manifest import (
     load_manifest,
 )
 from .session import TraceSession
-from .summary import format_summary, load_trace, summarize_spans, summarize_trace
+from .summary import (
+    cache_summary,
+    format_cache_summary,
+    format_summary,
+    load_trace,
+    summarize_spans,
+    summarize_trace,
+)
 from .trace import (
     TRACER,
     JsonlSink,
@@ -65,4 +72,6 @@ __all__ = [
     "summarize_spans",
     "format_summary",
     "summarize_trace",
+    "cache_summary",
+    "format_cache_summary",
 ]

@@ -30,6 +30,7 @@ __all__ = [
     "SPAN_JOB",
     "SPAN_EXPERIMENT",
     "SPAN_FIDELITY_SWEEP",
+    "SPAN_SERVE_BATCH",
     "SPAN_NAMES",
     "STAGE_MASKED_FORWARD_BATCH",
     "STAGE_NAMES",
@@ -42,6 +43,7 @@ __all__ = [
     "WORKLOAD_RUNNER_SCALING",
     "WORKLOAD_SCALING_LAW",
     "WORKLOAD_TRAINING_EPOCH",
+    "WORKLOAD_SERVING_LOAD",
     "WORKLOAD_NAMES",
 ]
 
@@ -70,6 +72,8 @@ SPAN_OPTIMIZE = "optimize"
 SPAN_EPOCH = "epoch"
 #: One fidelity-over-sparsity sweep (Fig. 3 / Fig. 4 line).
 SPAN_FIDELITY_SWEEP = "fidelity_sweep"
+#: One coalesced micro-batch executed by the serving daemon.
+SPAN_SERVE_BATCH = "serve_batch"
 
 SPAN_NAMES: frozenset[str] = frozenset({
     SPAN_EXPERIMENT,
@@ -83,6 +87,7 @@ SPAN_NAMES: frozenset[str] = frozenset({
     SPAN_OPTIMIZE,
     SPAN_EPOCH,
     SPAN_FIDELITY_SWEEP,
+    SPAN_SERVE_BATCH,
 })
 
 # ----------------------------------------------------------------------
@@ -129,6 +134,9 @@ WORKLOAD_SCALING_LAW = "scaling_law"
 #: Full training epoch (forward+backward+step): plan-backed kernels vs.
 #: the np.add.at dense-scatter path, with gradient parity.
 WORKLOAD_TRAINING_EPOCH = "training_epoch"
+#: Serving daemon under concurrent load: coalesced micro-batching vs.
+#: per-request serial execution (throughput + p50/p99 latency).
+WORKLOAD_SERVING_LOAD = "serving_load"
 
 WORKLOAD_NAMES: frozenset[str] = frozenset({
     WORKLOAD_FLOWX,
@@ -139,4 +147,5 @@ WORKLOAD_NAMES: frozenset[str] = frozenset({
     WORKLOAD_RUNNER_SCALING,
     WORKLOAD_SCALING_LAW,
     WORKLOAD_TRAINING_EPOCH,
+    WORKLOAD_SERVING_LOAD,
 })

@@ -4,16 +4,23 @@ FlowX and Relevant Walk Search report per-phase cost (flow enumeration
 vs. mask optimization vs. search); :func:`summarize_spans` produces the
 same breakdown mechanically from any exported trace, and
 ``repro trace summarize PATH`` renders it on the command line.
+
+:func:`cache_summary` is the other half of introspection: one snapshot
+of every process-global cache (flow, explanation, context, sparse
+memos), rendered by ``repro stats`` and served by the daemon's
+``/caches`` and ``/metrics`` endpoints.
 """
 
 from __future__ import annotations
 
+import importlib
 import json
 from pathlib import Path
 
 from ..errors import EvaluationError
 
-__all__ = ["load_trace", "summarize_spans", "format_summary", "summarize_trace"]
+__all__ = ["load_trace", "summarize_spans", "format_summary", "summarize_trace",
+           "cache_summary", "format_cache_summary"]
 
 
 def load_trace(path: str | Path) -> list[dict]:
@@ -85,6 +92,58 @@ def format_summary(table: dict, processes: int | None = None) -> list[str]:
             )
     if processes is not None:
         rows.append(f"(spans from {processes} process{'es' if processes != 1 else ''})")
+    return rows
+
+
+def _lru_info(cache) -> dict:
+    """entries/maxsize/hits/misses for a bare :class:`LRUCache`."""
+    return {
+        "entries": len(cache),
+        "maxsize": cache.maxsize,
+        "hits": cache.hits,
+        "misses": cache.misses,
+    }
+
+
+def cache_summary() -> dict:
+    """One snapshot of every process-global cache in the tree.
+
+    Returns ``{cache_name: {"entries", "hits", "misses", ...}}`` covering
+    the flow cache, Revelio's whole-explanation memo, the L-hop context
+    cache and the sparse-structure memos. Imports lazily so reading stats
+    never forces the numeric stack into processes that have not used it.
+    """
+    flows = importlib.import_module("repro.flows.cache")
+    revelio = importlib.import_module("repro.core.revelio")
+    base = importlib.import_module("repro.explain.base")
+    sparse = importlib.import_module("repro.sparse.cache")
+    summary = {
+        "flow_cache": flows.FLOW_CACHE.cache_info(),
+        "explanation_cache": _lru_info(revelio.EXPLANATION_CACHE),
+        "context_cache": _lru_info(base.CONTEXT_CACHE),
+    }
+    for name, info in sparse.memo_info().items():
+        summary[f"sparse_{name}"] = info
+    return summary
+
+
+def format_cache_summary(summary: dict | None = None) -> list[str]:
+    """Render a :func:`cache_summary` snapshot as aligned text rows."""
+    if summary is None:
+        summary = cache_summary()
+    rows = [f"{'cache':<24} {'entries':>8} {'maxsize':>8} {'hits':>8} "
+            f"{'misses':>8} {'hit_rate':>9}"]
+    for name, info in summary.items():
+        hits, misses = info.get("hits", 0), info.get("misses", 0)
+        total = hits + misses
+        rate = f"{hits / total:>8.1%}" if total else f"{'-':>8}"
+        entries = info.get("entries")
+        maxsize = info.get("maxsize")
+        rows.append(
+            f"{name:<24} {entries if entries is not None else '-':>8} "
+            f"{maxsize if maxsize is not None else '-':>8} "
+            f"{hits:>8} {misses:>8} {rate:>9}"
+        )
     return rows
 
 

@@ -1,0 +1,356 @@
+"""The serving daemon: router, lifecycle and the ``repro serve`` runner.
+
+:class:`ServeApp` composes the pieces — HTTP framing (:mod:`.http`),
+request schema (:mod:`.protocol`), the coalescer (:mod:`.coalescer`) and
+the numerics runtime (:mod:`.runtime`) — behind four routes:
+
+``POST /explain``
+    explain one instance; coalesced with concurrent identical work.
+``GET /healthz``
+    liveness + drain state + warm model keys.
+``GET /metrics``
+    serving counters (incl. coalescing stats and p50/p99 latency), the
+    global PERF counters, and every cache's hit/miss summary.
+``GET /caches``
+    just the cache summary (``repro stats`` over HTTP).
+
+Error contract: 400 malformed requests, 404/405 routing, 413 oversized
+bodies, 429 + ``Retry-After`` backpressure, 503 draining, 504 budget
+exceeded (the computation is *not* cancelled — coalesced waiters with
+larger budgets still get their answer), 500 anything unexpected.
+
+Shutdown contract (see :meth:`ServeApp.shutdown`): stop accepting
+connections, let the executing micro-batch finish and its waiters
+receive real responses, fail queued-but-unstarted jobs with 503, close
+every socket, and leave zero pending tasks on the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import signal
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ReproError, ServeError
+from ..obs import cache_summary, perf_snapshot
+from .coalescer import BackpressureError, Coalescer, DrainingError
+from .http import HttpRequest, read_request, response_bytes
+from .protocol import ExplainRequest, parse_explain_request
+from .runtime import ExplainRuntime
+from .state import ModelPool, ServeMetrics
+
+__all__ = ["ServeConfig", "ServeApp", "run_server"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Daemon configuration (one frozen object, mirrored by the CLI flags).
+
+    ``port=0`` binds an ephemeral port (tests); ``coalesce=False`` is the
+    serial baseline: no dedup, one request per batch. ``default_timeout_s``
+    bounds requests that do not bring their own ``execution.timeout``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch: int = 16
+    max_linger_ms: float = 5.0
+    queue_limit: int = 64
+    coalesce: bool = True
+    retry_after_s: float = 1.0
+    default_timeout_s: float | None = 60.0
+    max_body_bytes: int = 1 << 20
+    obs_dir: str | None = None
+    trace_every: int = 0
+
+
+def _error_payload(exc: BaseException) -> dict:
+    return {"error": {"type": type(exc).__name__, "message": str(exc)}}
+
+
+class ServeApp:
+    """One daemon instance: server socket, coalescer, metrics, lifecycle.
+
+    ``batch_runner`` is injectable for tests; by default an
+    :class:`~repro.serve.runtime.ExplainRuntime` over a fresh
+    :class:`~repro.serve.state.ModelPool` executes batches.
+    """
+
+    def __init__(self, config: ServeConfig | None = None,
+                 batch_runner: Callable | None = None):
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = ServeMetrics()
+        if batch_runner is None:
+            self.pool: ModelPool | None = ModelPool()
+            self.runtime: ExplainRuntime | None = ExplainRuntime(
+                self.pool, obs_dir=self.config.obs_dir,
+                trace_every=self.config.trace_every)
+            batch_runner = self.runtime
+        else:
+            self.pool = None
+            self.runtime = None
+        self.coalescer = Coalescer(
+            batch_runner,
+            max_batch=self.config.max_batch,
+            max_linger_ms=self.config.max_linger_ms,
+            queue_limit=self.config.queue_limit,
+            coalesce=self.config.coalesce,
+            retry_after_s=self.config.retry_after_s,
+            on_batch=lambda key, size, seconds:
+                self.metrics.record_batch(size, seconds),
+        )
+        self.host = self.config.host
+        self.port: int | None = None
+        self._server: asyncio.Server | None = None
+        self._draining = False
+        self._shutdown_done = False
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._busy_count = 0
+        self._all_idle: asyncio.Event | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket; ``self.port`` is set afterwards."""
+        self._all_idle = asyncio.Event()
+        self._all_idle.set()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host,
+            port=self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self) -> None:
+        """Graceful drain; idempotent.
+
+        Ordering matters: stop accepting first, then let the coalescer
+        finish the executing batch and 503 the queued rest, then wait for
+        busy handlers to flush their responses, and only then close idle
+        keep-alive sockets so no response is truncated.
+        """
+        if self._shutdown_done:
+            return
+        self._shutdown_done = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        await self.coalescer.shutdown()
+        if self._busy_count and self._all_idle is not None:
+            try:
+                await asyncio.wait_for(self._all_idle.wait(), timeout=10.0)
+            except asyncio.TimeoutError:
+                pass  # close the stragglers' sockets below
+        for writer in list(self._writers):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks),
+                                 return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # ------------------------------------------------------------------
+    # connection plane
+    # ------------------------------------------------------------------
+    def _begin_request(self) -> None:
+        self._busy_count += 1
+        if self._all_idle is not None:
+            self._all_idle.clear()
+
+    def _end_request(self) -> None:
+        self._busy_count -= 1
+        if self._busy_count == 0 and self._all_idle is not None:
+            self._all_idle.set()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._writers.add(writer)
+        try:
+            await self._serve_requests(reader, writer)
+        finally:
+            self._writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_requests(self, reader: asyncio.StreamReader,
+                              writer: asyncio.StreamWriter) -> None:
+        while True:
+            try:
+                request = await read_request(
+                    reader, max_body_bytes=self.config.max_body_bytes)
+            except ServeError as exc:
+                status = 413 if "exceeds" in str(exc) else 400
+                self.metrics.record_response(status)
+                await self._write(writer, response_bytes(
+                    status, _error_payload(exc), keep_alive=False))
+                return
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return
+            if request is None:
+                return
+            self._begin_request()
+            try:
+                status, payload, extra = await self._dispatch(request)
+                self.metrics.record_response(status)
+                keep_alive = request.keep_alive and not self._draining
+                sent = await self._write(writer, response_bytes(
+                    status, payload, keep_alive=keep_alive,
+                    extra_headers=extra))
+            finally:
+                self._end_request()
+            if not sent or not keep_alive:
+                return
+
+    async def _write(self, writer: asyncio.StreamWriter, data: bytes) -> bool:
+        try:
+            writer.write(data)
+            await writer.drain()
+            return True
+        except (ConnectionError, OSError):
+            return False
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: HttpRequest) -> tuple:
+        """Route one request; returns ``(status, payload, extra_headers)``."""
+        self.metrics.requests_total += 1
+        path = request.path.split("?", 1)[0]
+        if path == "/explain":
+            if request.method != "POST":
+                return 405, _error_payload(
+                    ServeError("POST /explain (got "
+                               f"{request.method})")), {"Allow": "POST"}
+            try:
+                explain_request = parse_explain_request(request.json())
+            except ServeError as exc:
+                return 400, _error_payload(exc), None
+            return await self._explain(explain_request)
+        if request.method != "GET":
+            return 405, _error_payload(
+                ServeError(f"GET {path} (got {request.method})")), \
+                {"Allow": "GET"}
+        if path == "/healthz":
+            return 200, self._health_payload(), None
+        if path == "/metrics":
+            return 200, {"serve": self.metrics.snapshot(),
+                         "perf": perf_snapshot(),
+                         "caches": cache_summary()}, None
+        if path == "/caches":
+            return 200, {"caches": cache_summary()}, None
+        return 404, _error_payload(
+            ServeError(f"no route {path!r}; available: /explain /healthz "
+                       "/metrics /caches")), None
+
+    def _health_payload(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "pending": self.coalescer.queue_depth(),
+            "models": self.pool.loaded_keys() if self.pool is not None else [],
+        }
+
+    # ------------------------------------------------------------------
+    # /explain
+    # ------------------------------------------------------------------
+    async def _explain(self, request: ExplainRequest) -> tuple:
+        self.metrics.explain_requests += 1
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        try:
+            future, joined = self.coalescer.submit(request)
+        except BackpressureError as exc:
+            self.metrics.rejected_backpressure += 1
+            retry_after = max(1, math.ceil(exc.retry_after_s))
+            return 429, _error_payload(exc), {"Retry-After": str(retry_after)}
+        except DrainingError as exc:
+            self.metrics.rejected_draining += 1
+            return 503, _error_payload(exc), None
+        if joined:
+            self.metrics.deduped_requests += 1
+        timeout = request.execution.timeout
+        if timeout is None:
+            timeout = self.config.default_timeout_s
+        try:
+            if timeout is not None:
+                # shield: a timed-out waiter abandons the future, but the
+                # computation stays alive for coalesced waiters with
+                # larger budgets.
+                result = await asyncio.wait_for(asyncio.shield(future),
+                                                timeout=timeout)
+            else:
+                result = await future
+        except asyncio.TimeoutError:
+            self.metrics.timeouts += 1
+            return 504, {"error": {
+                "type": "Timeout",
+                "message": f"explanation exceeded the {timeout}s budget",
+            }}, None
+        except DrainingError as exc:
+            self.metrics.rejected_draining += 1
+            return 503, _error_payload(exc), None
+        except ReproError as exc:
+            return 400, _error_payload(exc), None
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # runner bug: answer 500, keep serving
+            return 500, _error_payload(exc), None
+        latency = loop.time() - started
+        self.metrics.observe_latency(latency)
+        return 200, {
+            "explanation": result["explanation"],
+            "perf": result["perf"],
+            "trace_id": result["trace_id"],
+            "served": {
+                "batch_size": result["batch_size"],
+                "deduped": joined,
+                "latency_ms": latency * 1e3,
+            },
+        }, None
+
+
+async def serve_until_interrupted(config: ServeConfig) -> int:
+    """Run one daemon until SIGINT/SIGTERM, then drain and exit."""
+    app = ServeApp(config)
+    await app.start()
+    print(f"repro serve listening on http://{app.host}:{app.port} "
+          f"(coalesce={'on' if config.coalesce else 'off'}, "
+          f"max_batch={config.max_batch}, "
+          f"max_linger_ms={config.max_linger_ms})", flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    hooked = []
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            hooked.append(sig)
+        except (NotImplementedError, RuntimeError):
+            pass
+    try:
+        await stop.wait()
+    finally:
+        print("repro serve draining...", flush=True)
+        await app.shutdown()
+        for sig in hooked:
+            loop.remove_signal_handler(sig)
+        print("repro serve stopped", flush=True)
+    return 0
+
+
+def run_server(config: ServeConfig | None = None) -> int:
+    """Blocking entry point behind ``repro serve``."""
+    return asyncio.run(
+        serve_until_interrupted(config if config is not None else ServeConfig()))

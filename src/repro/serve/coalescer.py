@@ -1,0 +1,260 @@
+"""Request coalescing: bounded queues drained into micro-batches.
+
+One :class:`Coalescer` sits between the HTTP handlers and the numerics
+thread. Each distinct ``batch_key`` (model × explainer × mode × params)
+owns a bounded queue and a worker task; the worker drains its queue into
+micro-batches of at most ``max_batch`` jobs, lingering up to
+``max_linger_ms`` for stragglers before flushing, and hands each batch to
+the injected ``batch_runner`` on a single-threaded executor.
+
+Two levels of coalescing:
+
+* **Dedup (singleflight).** Requests with equal ``dedup_key`` are
+  byte-identical by the purity invariant (see :mod:`.protocol`), so
+  late arrivals join the inflight future instead of enqueueing — under a
+  hot-target load this is where the throughput multiple comes from.
+* **Micro-batching.** Distinct requests sharing a ``batch_key`` execute
+  in one runner call, amortizing queue/trace/manifest overhead and
+  sharing the warm model, flow cache and feature memos.
+
+Backpressure is explicit: a full queue raises
+:class:`BackpressureError` (→ HTTP 429 with ``Retry-After``) instead of
+letting latency grow without bound. :meth:`Coalescer.shutdown` drains
+gracefully — the batch executing right now completes and its waiters get
+real answers; jobs still queued fail fast with :class:`DrainingError`
+(→ HTTP 503) so clients can retry elsewhere.
+
+Concurrency model: all queue/future bookkeeping happens on the event
+loop thread; only ``batch_runner`` runs on the executor. The executor is
+single-threaded on purpose — the process-global caches are not
+thread-safe and the numerics are GIL-bound, so parallelism in the
+compute plane would buy nothing and break the caches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+from ..errors import ServeError
+from .protocol import ExplainRequest
+
+__all__ = ["BackpressureError", "DrainingError", "Coalescer"]
+
+
+class BackpressureError(ServeError):
+    """A batch queue is full; the client should retry after a backoff."""
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class DrainingError(ServeError):
+    """The daemon is shutting down and no longer accepts or starts work."""
+
+
+class _Job:
+    __slots__ = ("request", "future")
+
+    def __init__(self, request: ExplainRequest, future: asyncio.Future):
+        self.request = request
+        self.future = future
+
+
+class Coalescer:
+    """Per-batch-key queues, linger loops and singleflight dedup.
+
+    Parameters
+    ----------
+    batch_runner:
+        ``(list[ExplainRequest]) -> list[dict | Exception]`` executed on
+        the numerics thread; element ``i`` answers request ``i`` (an
+        Exception fails just that request, not the batch). Injected so
+        tests can substitute a controllable runner.
+    max_batch:
+        Micro-batch size ceiling.
+    max_linger_ms:
+        How long a non-full batch waits for stragglers before flushing.
+    queue_limit:
+        Pending jobs per batch key before :class:`BackpressureError`.
+    coalesce:
+        ``False`` disables dedup **and** batching (every request is a
+        batch of one) — the serial baseline the benchmark compares
+        against.
+    on_batch:
+        Optional ``(batch_key, size, seconds) -> None`` metrics hook.
+    """
+
+    def __init__(self, batch_runner: Callable, *, max_batch: int = 16,
+                 max_linger_ms: float = 5.0, queue_limit: int = 64,
+                 coalesce: bool = True, retry_after_s: float = 1.0,
+                 on_batch: Callable | None = None):
+        if max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {max_batch}")
+        if queue_limit < 1:
+            raise ServeError(f"queue_limit must be >= 1, got {queue_limit}")
+        self._batch_runner = batch_runner
+        self._max_batch = max_batch if coalesce else 1
+        self._max_linger = max(0.0, max_linger_ms) / 1e3 if coalesce else 0.0
+        self._queue_limit = queue_limit
+        self._coalesce = coalesce
+        self._retry_after_s = retry_after_s
+        self._on_batch = on_batch
+        self._queues: dict[tuple, deque[_Job]] = {}
+        self._events: dict[tuple, asyncio.Event] = {}
+        self._workers: dict[tuple, asyncio.Task] = {}
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-numerics")
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def queue_depth(self, batch_key: tuple | None = None) -> int:
+        """Pending jobs for one key (or all keys with ``None``)."""
+        if batch_key is not None:
+            queue = self._queues.get(batch_key)
+            return len(queue) if queue is not None else 0
+        return sum(len(q) for q in self._queues.values())
+
+    # ------------------------------------------------------------------
+    def submit(self, request: ExplainRequest) -> tuple[asyncio.Future, bool]:
+        """Enqueue a request; returns ``(future, joined_inflight)``.
+
+        Must be called from the event loop thread. The future resolves to
+        the runner's per-request result dict augmented with
+        ``"batch_size"``, or fails with the per-request exception /
+        :class:`DrainingError`.
+        """
+        if self._draining:
+            raise DrainingError("server is draining; request not accepted")
+        if self._coalesce:
+            existing = self._inflight.get(request.dedup_key)
+            if existing is not None and not existing.done():
+                return existing, True
+        queue = self._queues.setdefault(request.batch_key, deque())
+        if len(queue) >= self._queue_limit:
+            raise BackpressureError(
+                f"queue for batch key {request.batch_key!r} is full "
+                f"({self._queue_limit} pending)",
+                retry_after_s=self._retry_after_s)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        queue.append(_Job(request, future))
+        if self._coalesce:
+            self._inflight[request.dedup_key] = future
+            future.add_done_callback(
+                lambda fut, key=request.dedup_key: self._retire(key, fut))
+        event = self._events.setdefault(request.batch_key, asyncio.Event())
+        event.set()
+        if request.batch_key not in self._workers:
+            self._workers[request.batch_key] = loop.create_task(
+                self._worker(request.batch_key),
+                name=f"repro-serve-worker-{len(self._workers)}")
+        return future, False
+
+    def _retire(self, dedup_key: tuple, future: asyncio.Future) -> None:
+        if self._inflight.get(dedup_key) is future:
+            del self._inflight[dedup_key]
+        if not future.cancelled():
+            # Consume the exception so abandoned waiters (e.g. timed-out
+            # handlers) never trigger "exception was never retrieved".
+            future.exception()
+
+    # ------------------------------------------------------------------
+    async def _worker(self, batch_key: tuple) -> None:
+        """Drain one batch key's queue forever (until shutdown)."""
+        queue = self._queues[batch_key]
+        event = self._events[batch_key]
+        loop = asyncio.get_running_loop()
+        while True:
+            while not queue:
+                if self._draining:
+                    return
+                event.clear()
+                await event.wait()
+            if self._draining:
+                self._fail_queued(batch_key)
+                return
+            if self._max_linger > 0:
+                deadline = loop.time() + self._max_linger
+                while len(queue) < self._max_batch and not self._draining:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    event.clear()
+                    try:
+                        await asyncio.wait_for(event.wait(), timeout=remaining)
+                    except asyncio.TimeoutError:
+                        break
+            if self._draining:
+                self._fail_queued(batch_key)
+                return
+            jobs = [queue.popleft()
+                    for _ in range(min(len(queue), self._max_batch))]
+            await self._run_batch(batch_key, jobs)
+
+    async def _run_batch(self, batch_key: tuple, jobs: list[_Job]) -> None:
+        loop = asyncio.get_running_loop()
+        requests = [job.request for job in jobs]
+        started = loop.time()
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._batch_runner, requests)
+        except Exception as exc:  # runner bug / model load failure:
+            # fail this batch's waiters, keep the daemon serving
+            for job in jobs:
+                if not job.future.done():
+                    job.future.set_exception(exc)
+            return
+        seconds = loop.time() - started
+        if len(results) != len(jobs):
+            mismatch = ServeError(
+                f"batch runner returned {len(results)} results for "
+                f"{len(jobs)} requests")
+            for job in jobs:
+                if not job.future.done():
+                    job.future.set_exception(mismatch)
+            return
+        if self._on_batch is not None:
+            self._on_batch(batch_key, len(jobs), seconds)
+        for job, result in zip(jobs, results):
+            if job.future.done():
+                continue
+            if isinstance(result, BaseException):
+                job.future.set_exception(result)
+            else:
+                job.future.set_result({**result, "batch_size": len(jobs)})
+
+    def _fail_queued(self, batch_key: tuple) -> None:
+        queue = self._queues.get(batch_key)
+        while queue:
+            job = queue.popleft()
+            if not job.future.done():
+                job.future.set_exception(DrainingError(
+                    "server shut down before this request started"))
+
+    # ------------------------------------------------------------------
+    async def shutdown(self) -> None:
+        """Graceful drain: finish the executing batch, 503 the queued rest.
+
+        Idempotent. After it returns every submitted future is resolved,
+        every worker task has exited and the executor is closed — the
+        loop holds no coalescer-owned tasks.
+        """
+        self._draining = True
+        for event in self._events.values():
+            event.set()
+        workers = list(self._workers.values())
+        if workers:
+            await asyncio.gather(*workers, return_exceptions=True)
+        self._workers.clear()
+        for batch_key in list(self._queues):
+            self._fail_queued(batch_key)
+        self._executor.shutdown(wait=True)

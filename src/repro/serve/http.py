@@ -1,0 +1,134 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+The daemon needs exactly four things from HTTP: parse a request line,
+parse headers, read a ``Content-Length`` body, and write a JSON response
+— stdlib ``asyncio`` streams cover all of it without an external server
+framework. Deliberately not implemented: chunked transfer encoding,
+pipelining beyond serial keep-alive, TLS (front the daemon with a proxy
+for that).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..errors import ServeError
+
+__all__ = ["HttpRequest", "read_request", "response_bytes", "STATUS_REASONS"]
+
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Request-line + single-header size cap (defense against junk input).
+MAX_LINE_BYTES = 8192
+#: Header-count cap.
+MAX_HEADERS = 64
+
+
+class HttpRequest:
+    """One parsed request: method, path, headers (lowercased keys), body."""
+
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(self, method: str, path: str, headers: dict[str, str],
+                 body: bytes):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> object:
+        """Decode the body as JSON (:class:`ServeError` on failure)."""
+        if not self.body:
+            raise ServeError("request body is empty; expected a JSON object")
+        try:
+            return json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}") from exc
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body_bytes: int = 8 * 1024 * 1024) -> HttpRequest | None:
+    """Read one request from a keep-alive connection.
+
+    Returns ``None`` on clean EOF (client closed between requests).
+    Raises :class:`ServeError` on malformed framing and
+    ``asyncio.IncompleteReadError``/``ConnectionError`` on mid-request
+    disconnects — the connection handler closes the socket either way.
+    """
+    line = await reader.readline()
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ServeError("request line too long")
+    try:
+        method, path, version = line.decode("latin-1").strip().split(" ", 2)
+    except ValueError:
+        raise ServeError(f"malformed request line: {line[:80]!r}") from None
+    if not version.startswith("HTTP/1."):
+        raise ServeError(f"unsupported protocol {version!r}")
+
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise asyncio.IncompleteReadError(partial=b"", expected=2)
+        if len(line) > MAX_LINE_BYTES:
+            raise ServeError("header line too long")
+        if line in (b"\r\n", b"\n"):
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise ServeError("too many headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ServeError(f"malformed header line: {line[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ServeError("invalid Content-Length header") from None
+        if length < 0:
+            raise ServeError("invalid Content-Length header")
+        if length > max_body_bytes:
+            raise ServeError(
+                f"request body of {length} bytes exceeds the "
+                f"{max_body_bytes}-byte limit")
+        if length:
+            body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding"):
+        raise ServeError("chunked request bodies are not supported; "
+                         "send Content-Length")
+    return HttpRequest(method.upper(), path, headers, body)
+
+
+def response_bytes(status: int, payload: object, *, keep_alive: bool = True,
+                   extra_headers: dict[str, str] | None = None) -> bytes:
+    """Serialize one JSON response (headers + body) to wire bytes."""
+    body = json.dumps(payload).encode("utf-8") + b"\n"
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

@@ -1,0 +1,132 @@
+"""Warm state owned by the serving daemon: model pool and counters.
+
+The daemon's whole reason to exist is that the expensive state — trained
+models, datasets, the flow/explanation/context caches — stays warm
+between requests. :class:`ModelPool` holds the ``(model, dataset)`` pairs;
+the process-global caches warm themselves as explanations run and are
+reported by :func:`repro.obs.summary.cache_summary`.
+
+All numeric work runs on the coalescer's single executor thread (the
+process-global LRU caches are plain ``OrderedDict``s, not thread-safe,
+and the work is GIL-bound anyway), so :meth:`ModelPool.get` is called
+from exactly one thread and needs no locking.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..nn.zoo import get_model
+
+__all__ = ["ModelPool", "ServeMetrics"]
+
+
+class ModelPool:
+    """Warm ``(model, dataset)`` pairs keyed by ``ExplainRequest.model_key``.
+
+    Loading is lazy: the first request for a key trains (or loads the
+    checkpoint of) its model inside the numerics thread; subsequent
+    requests reuse the instance. Weights are frozen after training, so
+    sharing one model across requests preserves determinism.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, tuple] = {}
+
+    def get(self, model_key: tuple) -> tuple:
+        """Return (and cache) the ``(model, dataset)`` pair for a key."""
+        entry = self._entries.get(model_key)
+        if entry is None:
+            dataset_name, conv, scale, seed = model_key
+            model, dataset, _ = get_model(dataset_name, conv, scale=scale,
+                                          seed=seed)
+            entry = (model, dataset)
+            self._entries[model_key] = entry
+        return entry
+
+    def preload(self, model_key: tuple) -> None:
+        """Warm a key eagerly (daemon startup, test fixtures)."""
+        self.get(model_key)
+
+    def put(self, model_key: tuple, model, dataset) -> None:
+        """Install an already-built pair (embedding callers, fixtures)."""
+        self._entries[tuple(model_key)] = (model, dataset)
+
+    def loaded_keys(self) -> list[list]:
+        """JSON-friendly list of warm keys (for ``/healthz``)."""
+        return [list(key) for key in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ServeMetrics:
+    """Counters and latency window behind ``/metrics``.
+
+    Everything is incremented from the event loop thread; the latency
+    deque is bounded so a long-lived daemon reports recent percentiles,
+    not its cold-start tail forever.
+    """
+
+    def __init__(self, latency_window: int = 2048):
+        self.requests_total = 0
+        self.responses_by_status: dict[int, int] = {}
+        self.explain_requests = 0
+        self.deduped_requests = 0
+        self.batches_total = 0
+        self.batched_requests = 0
+        self.max_batch_size = 0
+        self.batch_seconds = 0.0
+        self.rejected_backpressure = 0
+        self.rejected_draining = 0
+        self.timeouts = 0
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+
+    # ------------------------------------------------------------------
+    def record_response(self, status: int) -> None:
+        self.responses_by_status[status] = \
+            self.responses_by_status.get(status, 0) + 1
+
+    def record_batch(self, size: int, seconds: float) -> None:
+        self.batches_total += 1
+        self.batched_requests += size
+        self.max_batch_size = max(self.max_batch_size, size)
+        self.batch_seconds += seconds
+
+    def observe_latency(self, seconds: float) -> None:
+        self._latencies.append(seconds)
+
+    # ------------------------------------------------------------------
+    def latency_percentile(self, q: float) -> float | None:
+        """The ``q``-quantile (0..1) of recent request latencies, seconds."""
+        if not self._latencies:
+            return None
+        ordered = sorted(self._latencies)
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def snapshot(self) -> dict:
+        """JSON-friendly metrics snapshot for ``/metrics``."""
+        p50 = self.latency_percentile(0.50)
+        p99 = self.latency_percentile(0.99)
+        mean_batch = (self.batched_requests / self.batches_total
+                      if self.batches_total else 0.0)
+        return {
+            "requests_total": self.requests_total,
+            "responses_by_status": {
+                str(k): v for k, v in sorted(self.responses_by_status.items())
+            },
+            "explain_requests": self.explain_requests,
+            "deduped_requests": self.deduped_requests,
+            "batches_total": self.batches_total,
+            "batched_requests": self.batched_requests,
+            "mean_batch_size": mean_batch,
+            "max_batch_size": self.max_batch_size,
+            "batch_seconds": self.batch_seconds,
+            "rejected_backpressure": self.rejected_backpressure,
+            "rejected_draining": self.rejected_draining,
+            "timeouts": self.timeouts,
+            "latency_p50_ms": None if p50 is None else p50 * 1e3,
+            "latency_p99_ms": None if p99 is None else p99 * 1e3,
+            "latency_samples": len(self._latencies),
+        }

@@ -45,7 +45,7 @@ import scipy.sparse as sp
 from .structure import SegmentPlan, augmented_edges
 
 __all__ = ["GraphSparseCache", "sparse_cache", "edge_cache", "plan_for",
-           "feature_csr", "FEATURE_DENSITY_CEILING"]
+           "feature_csr", "memo_info", "FEATURE_DENSITY_CEILING"]
 
 #: Densest feature matrix worth a CSR twin: above this, BLAS on the dense
 #: array beats sparse matvecs and :func:`feature_csr` memoizes ``None``.
@@ -157,6 +157,14 @@ class GraphSparseCache:
                 f"num_layer_edges={self.src.shape[0]})")
 
 
+#: memo name -> [hits, misses]; read by :func:`memo_info` (and through it
+#: the ``repro stats`` CLI and the serving daemon's ``/caches`` endpoint).
+#: A miss is any lookup that had to compile a fresh structure.
+_MEMO_STATS: dict[str, list] = {
+    "graph": [0, 0], "edge": [0, 0], "plan": [0, 0], "feature": [0, 0],
+}
+
+
 def sparse_cache(graph) -> GraphSparseCache:
     """The graph's compiled sparse structure, built on first use.
 
@@ -168,7 +176,9 @@ def sparse_cache(graph) -> GraphSparseCache:
     cached = getattr(graph, "_sparse_cache", None)
     if cached is not None and cached.edge_index is graph.edge_index \
             and cached.num_nodes == graph.num_nodes:
+        _MEMO_STATS["graph"][0] += 1
         return cached
+    _MEMO_STATS["graph"][1] += 1
     cache = GraphSparseCache(graph.edge_index, graph.num_nodes)
     graph._sparse_cache = cache
     return cache
@@ -185,10 +195,13 @@ _EDGE_MEMO: dict[tuple[int, int], tuple[weakref.ref, GraphSparseCache]] = {}
 _PLAN_MEMO: dict[tuple[int, int], tuple[weakref.ref, SegmentPlan]] = {}
 
 
-def _memo_get(memo: dict, key: tuple[int, int], array: np.ndarray):
+def _memo_get(memo: dict, key: tuple[int, int], array: np.ndarray,
+              stats: str):
     hit = memo.get(key)
     if hit is not None and hit[0]() is array:
+        _MEMO_STATS[stats][0] += 1
         return hit[1]
+    _MEMO_STATS[stats][1] += 1
     return None
 
 
@@ -205,7 +218,7 @@ def edge_cache(edge_index: np.ndarray, num_nodes: int) -> GraphSparseCache:
     ``np.add.at``-free kernel dispatch) is compiled exactly once per graph.
     """
     key = (id(edge_index), int(num_nodes))
-    cached = _memo_get(_EDGE_MEMO, key, edge_index)
+    cached = _memo_get(_EDGE_MEMO, key, edge_index, "edge")
     if cached is None:
         cached = GraphSparseCache(edge_index, int(num_nodes))
         _memo_put(_EDGE_MEMO, key, edge_index, cached)
@@ -221,11 +234,30 @@ def plan_for(index: np.ndarray, num_rows: int) -> SegmentPlan:
     compile their plan once per index array instead of once per call.
     """
     key = (id(index), int(num_rows))
-    plan = _memo_get(_PLAN_MEMO, key, index)
+    plan = _memo_get(_PLAN_MEMO, key, index, "plan")
     if plan is None:
         plan = SegmentPlan(index, int(num_rows))
         _memo_put(_PLAN_MEMO, key, index, plan)
     return plan
+
+
+def memo_info() -> dict:
+    """Hit/miss/size counters for every sparse-structure memo.
+
+    ``graph`` counts :func:`sparse_cache` lookups (entries live on the
+    graph objects themselves, so no entry count is reported); ``edge`` /
+    ``plan`` / ``feature`` are the identity-keyed module memos. Feeds
+    :func:`repro.obs.summary.cache_summary`.
+    """
+    sizes = {"edge": len(_EDGE_MEMO), "plan": len(_PLAN_MEMO),
+             "feature": len(_FEATURE_MEMO)}
+    out = {}
+    for name, (hits, misses) in _MEMO_STATS.items():
+        entry = {"hits": hits, "misses": misses}
+        if name in sizes:
+            entry["entries"] = sizes[name]
+        out[name] = entry
+    return out
 
 
 # value: () = "inspected, too dense" so count_nonzero runs once per array.
@@ -248,7 +280,7 @@ def feature_csr(x: np.ndarray) -> tuple[sp.csr_matrix, sp.csr_matrix] | None:
     if not isinstance(x, np.ndarray) or x.ndim != 2 or x.dtype != np.float64:
         return None
     key = (id(x), x.shape[0])
-    hit = _memo_get(_FEATURE_MEMO, key, x)
+    hit = _memo_get(_FEATURE_MEMO, key, x, "feature")
     if hit is None:
         density = np.count_nonzero(x) / max(x.size, 1)
         if density <= FEATURE_DENSITY_CEILING:

@@ -1,4 +1,4 @@
-"""One seeded violation (and one clean twin) per rule, RPR001–RPR040."""
+"""One seeded violation (and one clean twin) per rule, RPR001–RPR060."""
 
 from repro.checks import lint_paths
 from repro.obs.names import COUNTER_NAMES
@@ -305,3 +305,57 @@ class TestRawUfuncScatter:
                   "out = kernel('scatter_add')(plan, values)\n")
         assert lint_one(make_module, "repro.nn.scratch", source,
                         select=["RPR050"]).clean
+
+
+class TestBlockingCallInCoroutine:
+    def test_time_sleep_in_serve_coroutine_flagged(self, make_module):
+        source = ("import asyncio\n"
+                  "import time\n"
+                  "async def linger(self):\n"
+                  "    time.sleep(0.5)\n")
+        result = lint_one(make_module, "repro.serve.scratch", source,
+                          select=["RPR060"])
+        assert codes(result) == ["RPR060"]
+        assert result.violations[0].line == 4
+        assert "asyncio.sleep" in result.violations[0].message
+        assert "linger" in result.violations[0].message
+
+    def test_subprocess_and_open_flagged(self, make_module):
+        source = ("import subprocess\n"
+                  "async def reload_model(path):\n"
+                  "    subprocess.run(['true'])\n"
+                  "    data = open(path).read()\n"
+                  "    return data\n")
+        result = lint_one(make_module, "repro.serve.scratch", source,
+                          select=["RPR060"])
+        assert codes(result) == ["RPR060", "RPR060"]
+        messages = " ".join(v.message for v in result.violations)
+        assert "create_subprocess_exec" in messages
+        assert "run_in_executor" in messages
+
+    def test_sync_helper_in_serve_is_clean(self, make_module):
+        source = ("import time\n"
+                  "def warmup():\n"
+                  "    time.sleep(0.1)\n")
+        assert lint_one(make_module, "repro.serve.scratch", source,
+                        select=["RPR060"]).clean
+
+    def test_nested_sync_def_inside_coroutine_is_clean(self, make_module):
+        """Nested defs run on the executor, where blocking is legal."""
+        source = ("import time\n"
+                  "async def dispatch(loop, executor):\n"
+                  "    def work():\n"
+                  "        time.sleep(0.1)\n"
+                  "        return 1\n"
+                  "    return await loop.run_in_executor(executor, work)\n")
+        assert lint_one(make_module, "repro.serve.scratch", source,
+                        select=["RPR060"]).clean
+
+    def test_outside_repro_serve_is_exempt(self, make_module):
+        source = ("import time\n"
+                  "async def linger():\n"
+                  "    time.sleep(0.5)\n")
+        assert lint_one(make_module, "repro.runner.scratch", source,
+                        select=["RPR060"]).clean
+        assert lint_one(make_module, "tests.serve.scratch", source,
+                        select=["RPR060"]).clean

@@ -155,3 +155,37 @@ class TestCommands:
         assert main(["experiment", "alpha", "-d", "tree_cycles", "-m", "gcn",
                      "--jobs", "4"]) == 0
         assert "not supported" in capsys.readouterr().err
+
+    def test_stats_command_prints_cache_table(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "flow_cache" in out
+        assert "hit_rate" in out
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8731
+        assert args.max_batch == 16
+        assert args.max_linger_ms == 5.0
+        assert args.queue_limit == 64
+        assert args.no_coalesce is False
+        assert args.obs_dir is None
+        assert args.trace_every == 0
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--max-batch", "4",
+             "--max-linger-ms", "2.5", "--queue-limit", "8",
+             "--no-coalesce", "--obs-dir", "runs/serve",
+             "--trace-every", "10"])
+        assert args.port == 9000
+        assert args.max_batch == 4
+        assert args.max_linger_ms == 2.5
+        assert args.queue_limit == 8
+        assert args.no_coalesce is True
+        assert args.obs_dir == "runs/serve"
+        assert args.trace_every == 10
