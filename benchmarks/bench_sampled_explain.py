@@ -1,0 +1,239 @@
+"""Sampled-explanation workload: receptive-field path vs. the full graph.
+
+Generates a citation surrogate well past Table III sizes (25x Cora by
+default — ~67,700 nodes / ~264,000 directed edges), explains a spread of
+targets twice — once through the ordinary full-graph path and once
+through :class:`repro.sampling.SampledExplainRuntime` — and asserts the
+two claims the sampling subsystem makes:
+
+* **exactness** — lifted sampled edge scores match the full-graph path to
+  ``PARITY_TOL`` (1e-8) with equal predicted classes, per explainer;
+* **boundedness** — the sampled path clears :data:`SPEEDUP_FLOOR` in
+  wall-clock and its ``tracemalloc`` peak stays under
+  :data:`MEMORY_RATIO_CEILING` of the full path's peak, because its
+  working set is the receptive field, not the graph.
+
+Results are merged into ``BENCH_perf.json`` under
+``workloads/sampled_explain`` and the full merged payload is appended to
+``BENCH_history.jsonl`` for the ``repro bench --check`` gate.
+
+Run as a pytest marker (minutes-scale budget)::
+
+    PYTHONPATH=src python -m pytest -m sampled_slow benchmarks/bench_sampled_explain.py -q
+
+as a script::
+
+    PYTHONPATH=src python benchmarks/bench_sampled_explain.py
+
+or as the CI smoke (small graph, parity asserts only, no artifact
+writes)::
+
+    PYTHONPATH=src python benchmarks/bench_sampled_explain.py --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_perf.json"
+HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
+
+DATASET = "cora"
+CONV = "gcn"
+SPEEDUP_FLOOR = 3.0
+MEMORY_RATIO_CEILING = 0.5
+PARITY_TOL = 1e-8
+NUM_TARGETS = 5
+
+#: (explainer, params) pairs the workload sweeps. Deterministic,
+#: fit-free methods so a fresh instance per path answers identically.
+EXPLAINERS = (
+    ("gradcam", {}),
+    ("revelio", {"epochs": 10}),
+)
+
+
+def _scale(smoke: bool) -> float:
+    return float(os.environ.get("REPRO_SAMPLED_SCALE",
+                                "0.5" if smoke else "25.0"))
+
+
+def _clear_caches() -> None:
+    """Cold-start both paths: no cross-path or cross-phase cache transfer."""
+    from repro.core.revelio import clear_explanation_cache
+    from repro.explain.base import clear_context_cache
+
+    clear_context_cache()
+    clear_explanation_cache()
+
+
+def _pick_targets(graph, count: int) -> list[int]:
+    """Deterministic spread of explainable nodes (in-degree >= 2)."""
+    import numpy as np
+
+    eligible = np.flatnonzero(graph.in_degree() >= 2)
+    stride = max(1, eligible.size // count)
+    return [int(eligible[(i * stride) % eligible.size]) for i in range(count)]
+
+
+def _run_path(model, graph, targets, *, sampled: bool, mode: str = "factual"):
+    """Time one path over every (explainer, target) cell, traced peak.
+
+    Fresh explainer per cell on both paths (the serving runtime's
+    parity discipline); the sampled path wraps it in
+    ``SampledExplainRuntime`` and the full path calls it directly.
+    """
+    from repro.explain import ExplainTarget, make_explainer
+    from repro.sampling import SampledExplainRuntime
+
+    _clear_caches()
+    results: dict[tuple[str, int], object] = {}
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    for name, params in EXPLAINERS:
+        for target in targets:
+            explainer = make_explainer(name, model, seed=0, **params)
+            if sampled:
+                explanation = SampledExplainRuntime(explainer).explain(
+                    graph, ExplainTarget.node(target), mode=mode)
+            else:
+                explanation = explainer.explain(
+                    graph, ExplainTarget.node(target), mode=mode)
+            results[(name, target)] = explanation
+    wall_s = time.perf_counter() - t0
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return results, wall_s, peak_bytes
+
+
+def _max_divergence(full, sampled) -> tuple[float, int]:
+    """(max |edge-score diff|, class mismatches) across all cells."""
+    import numpy as np
+
+    worst = 0.0
+    mismatches = 0
+    for key, full_exp in full.items():
+        sampled_exp = sampled[key]
+        worst = max(worst, float(np.abs(
+            full_exp.edge_scores - sampled_exp.edge_scores).max()))
+        if full_exp.predicted_class != sampled_exp.predicted_class \
+                or full_exp.target != sampled_exp.target:
+            mismatches += 1
+    return worst, mismatches
+
+
+def run_benchmark(*, smoke: bool = False) -> dict:
+    from repro.datasets import load_dataset
+    from repro.nn.models import build_model
+
+    scale = _scale(smoke)
+    dataset = load_dataset(DATASET, scale=scale, seed=0)
+    graph = dataset.graph
+    # Untrained weights: parity and cost are properties of the forward
+    # machinery, not the fit, and training a 25x graph would dominate the
+    # harness without sharpening either claim.
+    model = build_model(CONV, "node", graph.num_features, dataset.num_classes,
+                        rng=0)
+    targets = _pick_targets(graph, 3 if smoke else NUM_TARGETS)
+
+    full, full_s, full_peak = _run_path(model, graph, targets, sampled=False)
+    sampled, sampled_s, sampled_peak = _run_path(model, graph, targets,
+                                                 sampled=True)
+    max_diff, mismatches = _max_divergence(full, sampled)
+
+    assert max_diff <= PARITY_TOL, \
+        f"sampled edge scores diverged from the full path: {max_diff}"
+    assert mismatches == 0, \
+        f"{mismatches} cell(s) changed predicted class or target under sampling"
+
+    sampled_meta = next(iter(sampled.values())).meta["sampled"]
+    payload = {
+        "dataset": DATASET,
+        "conv": CONV,
+        "scale": scale,
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "explainers": [name for name, _ in EXPLAINERS],
+        "targets": targets,
+        "num_hops": sampled_meta["num_hops"],
+        "speedup_floor": SPEEDUP_FLOOR,
+        "memory_ratio_ceiling": MEMORY_RATIO_CEILING,
+        "full_seconds": round(full_s, 3),
+        "sampled_seconds": round(sampled_s, 3),
+        "speedup": round(full_s / max(sampled_s, 1e-9), 2),
+        "full_peak_mb": round(full_peak / 2**20, 1),
+        "sampled_peak_mb": round(sampled_peak / 2**20, 1),
+        "memory_ratio": round(sampled_peak / max(full_peak, 1), 3),
+        "max_abs_diff": max_diff,
+        "parity": f"<= {PARITY_TOL}",
+    }
+    if smoke:
+        return {"mode": "smoke", **payload}
+
+    assert payload["speedup"] >= SPEEDUP_FLOOR, \
+        f"sampled path only {payload['speedup']}x over full graph: {payload}"
+    assert payload["memory_ratio"] < MEMORY_RATIO_CEILING, \
+        f"sampled peak {payload['memory_ratio']} of full-path peak: {payload}"
+
+    _write_artifacts(payload)
+    return payload
+
+
+def _write_artifacts(payload: dict) -> None:
+    """Merge into BENCH_perf.json, append the merged payload to history."""
+    from repro.obs.names import WORKLOAD_SAMPLED_EXPLAIN
+
+    existing = {}
+    if RESULT_PATH.exists():
+        try:
+            existing = json.loads(RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+    results = existing.setdefault("workloads", {})
+    results[WORKLOAD_SAMPLED_EXPLAIN] = payload
+    RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+    # The bench gate reads the *latest* history record and requires every
+    # committed workload in it, so append the full merged table.
+    import subprocess
+    from datetime import datetime, timezone
+
+    try:
+        proc = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                              cwd=REPO_ROOT, capture_output=True, text=True,
+                              timeout=10)
+        sha = proc.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        sha = None
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_sha": sha,
+        "payload": existing,
+    }
+    with HISTORY_PATH.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record) + "\n")
+
+
+@pytest.mark.sampled_slow
+def test_sampled_explain():
+    payload = run_benchmark()
+    print(json.dumps(payload, indent=2))
+
+
+def main() -> int:
+    smoke = "--smoke" in sys.argv[1:]
+    payload = run_benchmark(smoke=smoke)
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,7 +20,10 @@ claims rest on, in six families:
   through the plan-backed kernel registry (RPR050);
 * **event-loop discipline** — no blocking calls (``time.sleep``, sync
   subprocess/socket/file waits) inside :mod:`repro.serve` coroutines;
-  slow work runs on the coalescer's executor thread (RPR060).
+  slow work runs on the coalescer's executor thread (RPR060);
+* **target typing** — public explain/eval/serve/sampling entry points
+  type their ``target``/``targets`` parameters as ``ExplainTarget``, the
+  one vocabulary for "what is being explained" (RPR070).
 
 Run as ``repro lint src tests`` (CI gates on it) or through
 :func:`lint_paths` / :func:`run_lint`. Per-line suppression:
@@ -40,7 +43,8 @@ from .registry import RULES, Rule, all_rules, register, resolve_codes
 from .report import format_rule_listing, run_lint
 
 # Importing the rule modules registers their rules (stable-code registry).
-from . import api, benchconf, blocking, determinism, discipline, obsconf, scatter
+from . import (api, benchconf, blocking, determinism, discipline, obsconf,
+               scatter, targets)
 
 __all__ = [
     "Violation",
@@ -62,4 +66,5 @@ __all__ = [
     "discipline",
     "obsconf",
     "scatter",
+    "targets",
 ]

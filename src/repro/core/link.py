@@ -14,13 +14,16 @@ with exactly the Eq. (4)/(5) mask transformation of node-level Revelio.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..autograd import Adam, Tensor
 from ..errors import ExplainerError
 from ..explain.base import Explanation
+from ..explain.target import ExplainTarget
 from ..flows import FlowIndex, cached_enumerate_flows
-from ..graph import Graph, induced_subgraph, k_hop_subgraph
+from ..graph import Graph, extract_receptive_field
 from ..nn.link_prediction import LinkPredictor
 from ..rng import ensure_rng
 from .revelio import LAYER_WEIGHT_ACTIVATIONS, MASK_ACTIVATIONS, Revelio
@@ -71,13 +74,16 @@ class LinkRevelio:
 
     # ------------------------------------------------------------------
     def link_context(self, graph: Graph, u: int, v: int):
-        """Union of the two endpoints' L-hop incoming neighborhoods."""
-        nodes_u, _ = k_hop_subgraph(graph, u, self.model.num_layers)
-        nodes_v, _ = k_hop_subgraph(graph, v, self.model.num_layers)
-        combined = np.union1d(nodes_u, nodes_v)
-        subgraph, node_ids, edge_mask = induced_subgraph(graph, combined)
-        remap = {int(orig): i for i, orig in enumerate(node_ids)}
-        return subgraph, node_ids, np.flatnonzero(edge_mask), remap[u], remap[v]
+        """Union of the two endpoints' L-hop incoming neighborhoods.
+
+        One batched extraction: the backward BFS expands from both
+        endpoints simultaneously, so the union is computed inside the
+        frontier loop instead of as a Python-level merge of two
+        single-target traversals.
+        """
+        field = extract_receptive_field(graph, [u, v], self.model.num_layers)
+        lu, lv = field.local_targets
+        return field.graph, field.node_ids, field.edge_positions, lu, lv
 
     def _link_flows(self, graph: Graph, u: int, v: int) -> FlowIndex:
         """Flows ending at either endpoint, as one FlowIndex."""
@@ -95,8 +101,28 @@ class LinkRevelio:
         )
 
     # ------------------------------------------------------------------
-    def explain(self, graph: Graph, u: int, v: int, mode: str = "factual") -> Explanation:
-        """Explain the predicted link ``u -> v`` via message-flow masks."""
+    def explain(self, graph: Graph, target: ExplainTarget | int | None = None,
+                _legacy_v: int | None = None, mode: str = "factual") -> Explanation:
+        """Explain a predicted link via message-flow masks.
+
+        ``target`` is an ``ExplainTarget.link(u, v)``. The historical
+        ``explain(graph, u, v[, mode])`` positional form (and a bare
+        ``(u, v)`` tuple) keeps working one release behind a
+        ``DeprecationWarning``.
+        """
+        if _legacy_v is not None:
+            warnings.warn(
+                "link_revelio.explain(graph, u, v) is deprecated; pass "
+                "ExplainTarget.link(u, v)", DeprecationWarning, stacklevel=2)
+            target = ExplainTarget.link(int(target), int(_legacy_v))  # type: ignore[arg-type]
+        else:
+            target = ExplainTarget.coerce(target, task="node",
+                                          where=f"{self.name}.explain")
+        if not isinstance(target, ExplainTarget) or target.kind != "link":
+            raise ExplainerError(
+                f"link explanation requires an ExplainTarget.link(u, v) target, "
+                f"got {target!r}")
+        u, v = target.endpoints
         if mode not in ("factual", "counterfactual"):
             raise ExplainerError(f"unknown mode {mode!r}")
         for node in (u, v):

@@ -108,6 +108,15 @@ def _check_workload(name: str, ref: dict, got: dict) -> list[str]:
             failures.append(
                 f"{name}: overhead_fraction {value} at or above committed "
                 f"ceiling {ref['ceiling']}")
+    if "memory_ratio_ceiling" in ref:
+        # Sampled-path workloads: peak traced memory relative to the
+        # full-graph path must stay under the committed ceiling — the
+        # bounded-by-receptive-field claim, enforced numerically.
+        value = got.get("memory_ratio", float("inf"))
+        if value >= ref["memory_ratio_ceiling"]:
+            failures.append(
+                f"{name}: memory_ratio {value} at or above committed "
+                f"ceiling {ref['memory_ratio_ceiling']}")
     if "grad_tol" in ref:
         value = got.get("max_grad_diff", float("inf"))
         if value >= ref["grad_tol"]:

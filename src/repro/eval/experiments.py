@@ -36,6 +36,7 @@ from ..execution import (
 )
 from ..explain import make_explainer
 from ..explain.base import Explainer
+from ..explain.target import ExplainTarget, as_node_id
 from ..nn.models import GNN
 from ..nn.zoo import get_model
 from ..obs import span
@@ -157,12 +158,14 @@ def build_instances(dataset: NodeDataset | GraphDataset, n: int, *,
     if dataset.task == "node":
         candidates = dataset.sample_targets(8 * n if correct_only else n, rng=rng,
                                             motif_only=motif_only)
-        instances = [Instance(dataset.graph, int(v)) for v in candidates]
+        instances = [Instance(dataset.graph, ExplainTarget.node(int(v)))
+                     for v in candidates]
         if correct_only:
             if model is None:
                 raise EvaluationError("correct_only requires a model")
             pred = model.predict(dataset.graph)
-            instances = [i for i in instances if pred[i.target] == dataset.graph.y[i.target]]
+            instances = [i for i in instances
+                         if pred[as_node_id(i.target)] == dataset.graph.y[as_node_id(i.target)]]
         return instances[:n]
     candidates = dataset.sample_targets(8 * n if correct_only else n, rng=rng,
                                         motif_only=motif_only)
@@ -182,7 +185,7 @@ def _fit_if_group_method(explainer: Explainer, instances: list[Instance],
     pairs = []
     for inst in instances:
         if explainer.model.task == "node":
-            ctx = explainer.node_context(inst.graph, inst.target)
+            ctx = explainer.node_context(inst.graph, as_node_id(inst.target))
             pairs.append((ctx.subgraph, ctx.local_target))
         else:
             pairs.append((inst.graph, None))

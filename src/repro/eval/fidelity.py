@@ -21,6 +21,7 @@ import numpy as np
 
 from ..errors import EvaluationError
 from ..explain.base import Explanation
+from ..explain.target import ExplainTarget, as_node_id
 from ..graph import Graph
 from ..nn.models import GNN
 from ..obs import span
@@ -38,17 +39,25 @@ __all__ = ["Instance", "class_probability", "fidelity_minus", "fidelity_plus",
 
 @dataclass
 class Instance:
-    """One evaluation instance: a graph and (for node tasks) a target node."""
+    """One evaluation instance: a graph and what to explain in it.
+
+    ``target`` is an :class:`~repro.explain.target.ExplainTarget`
+    (``ExplainTarget.node(i)`` for node tasks, ``None`` for whole-graph
+    instances); legacy records carrying bare node ids keep working one
+    release — consumers resolve through
+    :func:`~repro.explain.target.as_node_id`.
+    """
 
     graph: Graph
-    target: int | None = None
+    target: ExplainTarget | int | None = None
 
 
 def class_probability(model: GNN, graph: Graph, class_idx: int, *,
-                      target: int | None = None) -> float:
+                      target: ExplainTarget | int | None = None) -> float:
     """``P_Φ(class | graph)`` at the target node / for the graph."""
     proba = model.predict_proba(graph)
-    row = proba[target] if target is not None else proba[0]
+    node = as_node_id(target)
+    row = proba[node] if node is not None else proba[0]
     return float(row[class_idx])
 
 
@@ -122,6 +131,7 @@ def fidelity_curve(model: GNN, instances: list[Instance],
                                candidate_edges=exp.context_edge_positions)
                 mask_stack[j, :, :E] = keep.astype(np.float64)
             probs = model.predict_proba_batch(inst.graph, mask_stack, structural=True)
-            row = inst.target if inst.target is not None else 0
+            node = as_node_id(inst.target)
+            row = node if node is not None else 0
             drops += p_orig - probs[:, row, class_idx]
         return {float(s): float(d / len(instances)) for s, d in zip(sparsities, drops)}

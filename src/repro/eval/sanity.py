@@ -20,6 +20,7 @@ import numpy as np
 
 from ..analysis.agreement import edge_rank_correlation, top_edge_overlap
 from ..errors import EvaluationError
+from ..explain.target import ExplainTarget
 from ..graph import Graph
 from ..nn.models import GNN
 from ..rng import ensure_rng
@@ -59,7 +60,7 @@ def randomize_model(model: GNN, *, rng: int | np.random.Generator | None = 0,
 
 
 def model_randomization_check(explainer_factory, model: GNN, graph: Graph,
-                              *, target: int | None = None, k: int = 10,
+                              *, target: ExplainTarget | int | None = None, k: int = 10,
                               overlap_threshold: float = 0.6,
                               seed: int = 0) -> SanityCheckResult:
     """Run the Adebayo-style model-randomization test for one method.

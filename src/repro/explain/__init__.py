@@ -6,6 +6,7 @@ from ..errors import ExplainerError
 from ..nn.models import GNN
 from .base import MODES, Explainer, Explanation, NodeContext
 from .batch import BatchResult, explain_instances
+from .target import ExplainTarget, as_node_id
 from .deeplift import DeepLIFT
 from .flowx import FlowX
 from .gnn_lrp import GNNLRP
@@ -22,6 +23,8 @@ from .subgraphx import SubgraphX
 __all__ = [
     "Explainer",
     "Explanation",
+    "ExplainTarget",
+    "as_node_id",
     "NodeContext",
     "MODES",
     "GradCAM",

@@ -29,10 +29,11 @@ import numpy as np
 from ..errors import ExplainerError
 from ..flows import FlowIndex, graph_fingerprint
 from ..flows.cache import LRUCache
-from ..graph import Graph, induced_subgraph, k_hop_subgraph
+from ..graph import Graph, extract_receptive_field
 from ..nn.models import GNN
 from ..obs import PERF, span
 from ..obs.names import SPAN_CONTEXT_EXTRACT, SPAN_EXPLAIN
+from .target import ExplainTarget
 
 __all__ = ["Explanation", "Explainer", "NodeContext", "MODES",
            "CONTEXT_CACHE", "context_cache_disabled", "clear_context_cache"]
@@ -217,21 +218,30 @@ class Explainer:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def explain(self, graph: Graph, target: int | None = None,
+    def explain(self, graph: Graph, target: ExplainTarget | int | None = None,
                 mode: str = "factual") -> Explanation:
         """Explain one instance.
 
-        Dispatches on the model task: node classification requires
-        ``target``; graph classification ignores it.
+        ``target`` is an :class:`~repro.explain.target.ExplainTarget`
+        (``ExplainTarget.node(i)`` for node classification; ``None`` or
+        ``ExplainTarget.graph(j)`` for graph classification, where the
+        caller has already selected graph ``j``). Bare-int targets keep
+        working one release behind a ``DeprecationWarning``.
         """
         if mode not in MODES:
             raise ExplainerError(f"unknown mode {mode!r}; expected one of {MODES}")
+        target = ExplainTarget.coerce(target, task=self.model.task,
+                                      where=f"{self.name}.explain")
         with span(SPAN_EXPLAIN, method=self.name, mode=mode) as sp:
             if self.model.task == "node":
                 if target is None:
                     raise ExplainerError("node-classification explanation requires a target node")
-                explanation = self.explain_node(graph, int(target), mode=mode)
+                explanation = self.explain_node(graph, target.node_id, mode=mode)
             else:
+                if target is not None and target.kind != "graph":
+                    raise ExplainerError(
+                        f"{self.model.task}-classification explanation takes an "
+                        f"ExplainTarget.graph(...) target (or None), got {target}")
                 explanation = self.explain_graph(graph, mode=mode)
             if sp is not None:
                 sp.set(target=explanation.target,
@@ -273,21 +283,23 @@ class Explainer:
         return context
 
     def _extract_context(self, graph: Graph, node: int) -> NodeContext:
-        node_ids, edge_mask = k_hop_subgraph(graph, node, self.model.num_layers)
-        subgraph, node_ids, edge_mask = induced_subgraph(graph, node_ids)
-        remap = {int(orig): i for i, orig in enumerate(node_ids)}
+        field = extract_receptive_field(graph, [int(node)], self.model.num_layers)
         return NodeContext(
-            subgraph=subgraph,
-            node_ids=node_ids,
-            edge_mask=edge_mask,
-            edge_positions=np.flatnonzero(edge_mask),
-            local_target=remap[int(node)],
+            subgraph=field.graph,
+            node_ids=field.node_ids,
+            edge_mask=field.edge_mask,
+            edge_positions=field.edge_positions,
+            local_target=int(field.local_index(int(node))),
         )
 
-    def predicted_class(self, graph: Graph, target: int | None = None) -> int:
+    def predicted_class(self, graph: Graph,
+                        target: ExplainTarget | int | None = None) -> int:
         """The model's predicted class for the instance."""
+        from .target import as_node_id
+
         proba = self.model.predict_proba(graph)
-        row = proba[target] if target is not None else proba[0]
+        node = as_node_id(target)
+        row = proba[node] if node is not None else proba[0]
         return int(row.argmax())
 
     def lift_edge_scores(self, context: NodeContext, local_scores: np.ndarray,

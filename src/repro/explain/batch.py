@@ -69,7 +69,10 @@ def explain_instances(explainer: Explainer, instances: "Sequence[Instance]",
     explainer:
         Any :class:`Explainer` (already fitted, for group-level methods).
     instances:
-        ``Instance(graph, target)`` records.
+        ``Instance(graph, target)`` records whose ``target`` is an
+        :class:`~repro.explain.target.ExplainTarget` (bare ints keep
+        working one release behind a ``DeprecationWarning``, raised by
+        ``Explainer.explain`` when it coerces them).
     progress:
         Optional callback ``(done, total)`` after each instance.
     save_dir:

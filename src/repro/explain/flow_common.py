@@ -29,24 +29,29 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
 
 
 def masked_probability(model: GNN, graph: Graph, layer_masks: np.ndarray,
-                       class_idx: int, target: int | None) -> float:
+                       class_idx: int, target_row: int | None) -> float:
     """``P(class | graph, masks)`` with per-layer edge masks, no tape.
 
     Parameters
     ----------
     layer_masks:
         ``(L, E+N)`` float multipliers per layer edge.
+    target_row:
+        Output row to read — a *local* index into ``graph`` (explainers
+        call this on the context subgraph), not an
+        :class:`~repro.explain.target.ExplainTarget`; ``None`` reads row
+        0 (graph tasks).
     """
     with no_grad():
         masks = [Tensor(layer_masks[l]) for l in range(layer_masks.shape[0])]
         logits = model.forward_graph(graph, edge_masks=masks)
         probs = softmax(logits, axis=-1).numpy()
-    row = probs[target] if target is not None else probs[0]
+    row = probs[target_row] if target_row is not None else probs[0]
     return float(row[class_idx])
 
 
 def masked_probability_batch(model: GNN, graph: Graph, mask_stack: np.ndarray,
-                             class_idx: int, target: int | None, *,
+                             class_idx: int, target_row: int | None, *,
                              structural: bool = False) -> np.ndarray:
     """Vectorized :func:`masked_probability` over a stack of mask sets.
 
@@ -62,7 +67,7 @@ def masked_probability_batch(model: GNN, graph: Graph, mask_stack: np.ndarray,
         ``(B,)`` probabilities ``P(class | graph, masks_b)``.
     """
     probs = model.predict_proba_batch(graph, mask_stack, structural=structural)
-    row = target if target is not None else 0
+    row = target_row if target_row is not None else 0
     return probs[:, row, class_idx]
 
 

@@ -21,6 +21,7 @@ from ..graph import Graph
 from ..nn.models import GNN
 from ..rng import ensure_rng
 from .base import Explainer, Explanation
+from .target import ExplainTarget, as_node_id
 
 __all__ = ["GraphMask"]
 
@@ -211,12 +212,15 @@ class GraphMask(Explainer):
         if not self.fitted:
             raise ExplainerError("GraphMask.explain called before fit()")
 
-    def prepare_instances(self, graph_or_graphs, targets=None) -> list[tuple[Graph, int | None]]:
+    def prepare_instances(
+            self, graph_or_graphs,
+            targets: list[ExplainTarget | int] | None = None,
+    ) -> list[tuple[Graph, int | None]]:
         """Build fit() inputs (same contract as PGExplainer)."""
         if self.model.task == "node":
             out = []
             for t in targets:
-                ctx = self.node_context(graph_or_graphs, int(t))
+                ctx = self.node_context(graph_or_graphs, as_node_id(t))
                 out.append((ctx.subgraph, ctx.local_target))
             return out
         return [(g, None) for g in graph_or_graphs]

@@ -21,6 +21,7 @@ from ..graph import Graph
 from ..nn.models import GNN
 from ..rng import ensure_rng
 from .base import Explainer, Explanation
+from .target import ExplainTarget, as_node_id
 
 __all__ = ["PGExplainer"]
 
@@ -175,14 +176,15 @@ class PGExplainer(Explainer):
             raise ExplainerError("PGExplainer.explain called before fit(); "
                                  "train it on a group of instances first")
 
-    def prepare_instances(self, graph_or_graphs, targets=None,
+    def prepare_instances(self, graph_or_graphs,
+                          targets: list[ExplainTarget | int] | None = None,
                           mode: str = "factual") -> list[tuple[Graph, int | None]]:
         """Build fit() inputs: context subgraphs for node targets, or the
         graphs themselves for graph tasks."""
         if self.model.task == "node":
             out = []
             for t in targets:
-                ctx = self.node_context(graph_or_graphs, int(t))
+                ctx = self.node_context(graph_or_graphs, as_node_id(t))
                 out.append((ctx.subgraph, ctx.local_target))
             return out
         return [(g, None) for g in graph_or_graphs]

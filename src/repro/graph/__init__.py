@@ -19,6 +19,7 @@ from .transforms import (
     shuffle_labels,
     zero_features,
 )
+from .sampled import SampledSubgraph, extract_receptive_field, khop_in_nodes
 from .utils import (
     add_reverse_edges,
     coalesce_edges,
@@ -42,6 +43,9 @@ __all__ = [
     "to_undirected",
     "add_reverse_edges",
     "k_hop_subgraph",
+    "SampledSubgraph",
+    "extract_receptive_field",
+    "khop_in_nodes",
     "induced_subgraph",
     "connected_components",
     "edge_list",

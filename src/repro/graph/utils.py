@@ -14,6 +14,7 @@ from ..errors import GraphError
 # core but is naturally discovered next to the other graph helpers.
 from ..sparse import sparse_cache  # noqa: F401
 from .data import Graph
+from .sampled import SampledSubgraph, extract_receptive_field
 
 __all__ = [
     "coalesce_edges",
@@ -22,6 +23,8 @@ __all__ = [
     "to_undirected",
     "add_reverse_edges",
     "k_hop_subgraph",
+    "SampledSubgraph",
+    "extract_receptive_field",
     "induced_subgraph",
     "connected_components",
     "edge_list",
@@ -61,32 +64,18 @@ def to_undirected(graph: Graph) -> Graph:
     return g
 
 
-def k_hop_subgraph(graph: Graph, node: int, num_hops: int) -> tuple[np.ndarray, np.ndarray]:
+def k_hop_subgraph(graph: Graph, node: int, num_hops: int) -> SampledSubgraph:
     """Nodes and edges reachable *into* ``node`` within ``num_hops`` steps.
 
     Follows edges backwards (an L-layer GNN's prediction at ``node`` depends
-    only on nodes with a directed path of length ≤ L *to* it). Returns
-    ``(node_ids, edge_mask)`` where ``edge_mask`` marks original edges whose
-    endpoints both lie in the neighborhood and which can actually carry a
-    message toward ``node`` within the horizon.
+    only on nodes with a directed path of length ≤ L *to* it). Returns a
+    :class:`SampledSubgraph` whose ``node_ids`` / ``edge_mask`` match the
+    historical two-tuple contract: ``edge_mask`` marks original edges whose
+    endpoints both lie in the neighborhood. Unpacking the result as a
+    two-tuple still works one release behind a ``DeprecationWarning``; the
+    batched generalization is :func:`extract_receptive_field`.
     """
-    if not 0 <= node < graph.num_nodes:
-        raise GraphError(f"node {node} out of range for graph with {graph.num_nodes} nodes")
-    src, dst = graph.src, graph.dst
-    frontier = {int(node)}
-    visited = {int(node)}
-    for _ in range(num_hops):
-        if not frontier:
-            break
-        incoming = np.isin(dst, list(frontier))
-        new_nodes = set(src[incoming].tolist()) - visited
-        visited |= new_nodes
-        frontier = new_nodes
-    node_ids = np.array(sorted(visited), dtype=np.int64)
-    in_set = np.zeros(graph.num_nodes, dtype=bool)
-    in_set[node_ids] = True
-    edge_mask = in_set[src] & in_set[dst]
-    return node_ids, edge_mask
+    return extract_receptive_field(graph, [int(node)], num_hops)
 
 
 def induced_subgraph(graph: Graph, nodes: np.ndarray) -> tuple[Graph, np.ndarray, np.ndarray]:

@@ -18,6 +18,7 @@ from ..autograd import Adam, Module, Tensor, no_grad
 from ..errors import ModelError
 from ..graph import Graph
 from ..rng import ensure_rng
+from ..sparse import sparse_cache
 from .gat import GATConv
 from .gcn import GCNConv
 from .gin import GINConv
@@ -75,10 +76,16 @@ class LinkPredictor(Module):
         """Node embeddings ``(N, hidden)`` under optional layer masks."""
         if edge_masks is not None and len(edge_masks) != self.num_layers:
             raise ModelError(f"expected {self.num_layers} edge masks, got {len(edge_masks)}")
+        # Thread the graph-attached cache (like the classification models)
+        # rather than letting each conv fall back to the bare-array memo:
+        # sampled subgraphs preload this cache's degree vector with the
+        # full graph's values, which is what makes the local forward exact.
+        cache = sparse_cache(graph)
         h = Tensor(graph.x)
         for l, conv in enumerate(self.convs):
             mask = edge_masks[l] if edge_masks is not None else None
-            h = conv(h, graph.edge_index, graph.num_nodes, edge_mask=mask).relu()
+            h = conv(h, graph.edge_index, graph.num_nodes, edge_mask=mask,
+                     cache=cache).relu()
         return h
 
     def link_logits(self, graph: Graph, pairs: np.ndarray,

@@ -31,6 +31,7 @@ __all__ = [
     "SPAN_EXPERIMENT",
     "SPAN_FIDELITY_SWEEP",
     "SPAN_SERVE_BATCH",
+    "SPAN_SAMPLED_EXTRACT",
     "SPAN_NAMES",
     "STAGE_MASKED_FORWARD_BATCH",
     "STAGE_NAMES",
@@ -44,6 +45,7 @@ __all__ = [
     "WORKLOAD_SCALING_LAW",
     "WORKLOAD_TRAINING_EPOCH",
     "WORKLOAD_SERVING_LOAD",
+    "WORKLOAD_SAMPLED_EXPLAIN",
     "WORKLOAD_NAMES",
 ]
 
@@ -74,6 +76,8 @@ SPAN_EPOCH = "epoch"
 SPAN_FIDELITY_SWEEP = "fidelity_sweep"
 #: One coalesced micro-batch executed by the serving daemon.
 SPAN_SERVE_BATCH = "serve_batch"
+#: One batched receptive-field extraction (repro.sampling).
+SPAN_SAMPLED_EXTRACT = "sampled_extract"
 
 SPAN_NAMES: frozenset[str] = frozenset({
     SPAN_EXPERIMENT,
@@ -88,6 +92,7 @@ SPAN_NAMES: frozenset[str] = frozenset({
     SPAN_EPOCH,
     SPAN_FIDELITY_SWEEP,
     SPAN_SERVE_BATCH,
+    SPAN_SAMPLED_EXTRACT,
 })
 
 # ----------------------------------------------------------------------
@@ -137,6 +142,9 @@ WORKLOAD_TRAINING_EPOCH = "training_epoch"
 #: Serving daemon under concurrent load: coalesced micro-batching vs.
 #: per-request serial execution (throughput + p50/p99 latency).
 WORKLOAD_SERVING_LOAD = "serving_load"
+#: Receptive-field sampled explanation vs. the full-graph path at scaled
+#: Cora sizes (wall-clock speedup + peak-memory ratio + exact parity).
+WORKLOAD_SAMPLED_EXPLAIN = "sampled_explain"
 
 WORKLOAD_NAMES: frozenset[str] = frozenset({
     WORKLOAD_FLOWX,
@@ -148,4 +156,5 @@ WORKLOAD_NAMES: frozenset[str] = frozenset({
     WORKLOAD_SCALING_LAW,
     WORKLOAD_TRAINING_EPOCH,
     WORKLOAD_SERVING_LOAD,
+    WORKLOAD_SAMPLED_EXPLAIN,
 })

@@ -35,6 +35,7 @@ from .plan import (
     JobSpec,
     derive_seed,
     plan_experiment,
+    plan_sampled_explain,
 )
 from .pool import run_jobs
 
@@ -42,6 +43,7 @@ __all__ = [
     "JobSpec",
     "ExperimentPlan",
     "plan_experiment",
+    "plan_sampled_explain",
     "derive_seed",
     "GROUP_FIT_METHODS",
     "DEFAULT_CHUNKS",

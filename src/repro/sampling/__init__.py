@@ -1,0 +1,15 @@
+"""Receptive-field sampled explanation (`ISSUE 9` tentpole).
+
+``repro.sampling`` decouples explanation cost from graph size: a
+:class:`ReceptiveField` extracts the L-hop in-subgraph of one or more
+targets as a compact relabeled :class:`~repro.graph.sampled.SampledSubgraph`
+(exact for L-layer GNNs by the locality argument in DESIGN.md §13), and a
+:class:`SampledExplainRuntime` runs any registered explainer on that
+subgraph and lifts the scores back to global ids — numerically identical
+to the full-graph path, at receptive-field cost.
+"""
+
+from .receptive_field import ReceptiveField
+from .runtime import SampledExplainRuntime, lift_explanation
+
+__all__ = ["ReceptiveField", "SampledExplainRuntime", "lift_explanation"]

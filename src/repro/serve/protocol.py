@@ -28,13 +28,15 @@ from __future__ import annotations
 
 import difflib
 import json
+import warnings
 from dataclasses import dataclass, fields
 
-from ..datasets import DATASET_NAMES
-from ..errors import ServeError
+from ..datasets import DATASET_NAMES, dataset_task
+from ..errors import ExplainerError, ServeError
 from ..execution import ExecutionConfig
 from ..explain.base import MODES, Explanation
 from ..explain.io import explanation_to_jsonable
+from ..explain.target import ExplainTarget
 
 __all__ = [
     "ExplainRequest",
@@ -49,7 +51,7 @@ CONVS = ("gcn", "gin", "gat")
 
 #: Top-level request keys (used for did-you-mean hints on unknown keys).
 _REQUEST_KEYS = ("dataset", "model", "explainer", "target", "mode", "scale",
-                 "model_seed", "params", "execution", "timeout")
+                 "model_seed", "params", "execution", "timeout", "sampled")
 
 _SCALAR_TYPES = (int, float, str, bool, type(None))
 
@@ -65,12 +67,13 @@ class ExplainRequest:
     dataset: str
     conv: str
     explainer: str
-    target: int | None = None
+    target: ExplainTarget | int | None = None
     mode: str = "factual"
     scale: float | None = None
     model_seed: int = 0
     params: tuple[tuple[str, object], ...] = ()
     execution: ExecutionConfig = ExecutionConfig()
+    sampled: bool = False
 
     @property
     def model_key(self) -> tuple:
@@ -79,8 +82,14 @@ class ExplainRequest:
 
     @property
     def batch_key(self) -> tuple:
-        """Coalescing queue key: requests sharing it may share a micro-batch."""
-        return self.model_key + (self.explainer, self.mode, self.params)
+        """Coalescing queue key: requests sharing it may share a micro-batch.
+
+        ``sampled`` is part of the key: a sampled explanation's payload
+        carries its extraction metadata, so it must never deduplicate
+        against a full-path answer to the same coordinates.
+        """
+        return self.model_key + (self.explainer, self.mode, self.params,
+                                 self.sampled)
 
     @property
     def dedup_key(self) -> tuple:
@@ -143,6 +152,35 @@ def _parse_execution(payload: dict) -> ExecutionConfig:
         raise ServeError(f"invalid execution config: {exc}") from exc
 
 
+def _parse_target(value: object, dataset: str) -> ExplainTarget | None:
+    """Decode the request's ``target`` field into an :class:`ExplainTarget`.
+
+    Accepts the wire forms (``{"node": i}`` / ``{"link": [u, v]}`` /
+    ``{"graph": j}`` / ``{"kind": ..., "ids": [...]}``) and, one release
+    behind a ``DeprecationWarning``, a bare integer — resolved against the
+    dataset's task: a node id for node tasks, a graph index otherwise.
+    """
+    if value is None:
+        return None
+    if isinstance(value, dict):
+        try:
+            return ExplainTarget.from_wire(value)
+        except ExplainerError as exc:
+            raise ServeError(f'invalid request field "target": {exc}') from exc
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServeError(
+            'request field "target" must be a target object '
+            '({"node": i} / {"link": [u, v]} / {"graph": j}), an integer '
+            "(deprecated) or null")
+    warnings.warn(
+        'integer "target" request fields are deprecated; send {"node": i} '
+        'or {"graph": i}', DeprecationWarning, stacklevel=3)
+    try:
+        return ExplainTarget.resolve(value, task=dataset_task(dataset))
+    except ExplainerError as exc:
+        raise ServeError(f'invalid request field "target": {exc}') from exc
+
+
 def parse_explain_request(payload: object) -> ExplainRequest:
     """Validate a decoded ``POST /explain`` body into an :class:`ExplainRequest`.
 
@@ -165,10 +203,11 @@ def parse_explain_request(payload: object) -> ExplainRequest:
     if mode not in MODES:
         raise ServeError(f"unknown mode {mode!r}; available: {list(MODES)}")
 
-    target = payload.get("target")
-    if target is not None and (isinstance(target, bool)
-                               or not isinstance(target, int)):
-        raise ServeError('request field "target" must be an integer or null')
+    target = _parse_target(payload.get("target"), dataset)
+
+    sampled = payload.get("sampled", False)
+    if not isinstance(sampled, bool):
+        raise ServeError('request field "sampled" must be a boolean')
 
     scale = payload.get("scale")
     if scale is not None:
@@ -200,6 +239,7 @@ def parse_explain_request(payload: object) -> ExplainRequest:
         model_seed=model_seed,
         params=tuple(sorted(params.items())),
         execution=_parse_execution(payload),
+        sampled=sampled,
     )
 
 

@@ -29,8 +29,10 @@ from pathlib import Path
 from ..errors import ServeError
 from ..eval.fidelity import Instance
 from ..explain import explain_instances, make_explainer
+from ..explain.target import ExplainTarget
 from ..obs import PERF, PerfCounters, TraceSession, build_manifest, span
 from ..obs.names import SPAN_SERVE_BATCH
+from ..sampling import SampledExplainRuntime
 from .protocol import ExplainRequest, wire_explanation
 from .state import ModelPool
 
@@ -40,20 +42,31 @@ __all__ = ["ExplainRuntime", "resolve_instance"]
 def resolve_instance(dataset, request: ExplainRequest) -> Instance:
     """The evaluation instance a request addresses, validated.
 
-    Node tasks require an in-range target node id; graph tasks interpret
-    ``target`` as a graph index (default 0), explained without a node.
+    ``request.target`` is an :class:`ExplainTarget` (bare ints — accepted
+    for one release when constructing requests directly — resolve against
+    the dataset's task). Node tasks require an in-range node target;
+    graph tasks take a graph index (default 0), explained without a node.
     """
+    target = ExplainTarget.resolve(request.target, task=dataset.task)
     if dataset.task == "node":
-        if request.target is None:
+        if target is None:
             raise ServeError(
                 f"dataset {request.dataset!r} is a node task; "
-                '"target" (a node id) is required')
-        if not 0 <= request.target < dataset.graph.num_nodes:
+                '"target" ({"node": i}) is required')
+        if target.kind != "node":
             raise ServeError(
-                f"target {request.target} out of range for "
+                f"dataset {request.dataset!r} is a node task; cannot serve "
+                f"a {target.kind} target")
+        if not 0 <= target.node_id < dataset.graph.num_nodes:
+            raise ServeError(
+                f"target {target.node_id} out of range for "
                 f"{request.dataset!r} ({dataset.graph.num_nodes} nodes)")
-        return Instance(dataset.graph, request.target)
-    index = request.target if request.target is not None else 0
+        return Instance(dataset.graph, target)
+    if target is not None and target.kind != "graph":
+        raise ServeError(
+            f"dataset {request.dataset!r} is a graph task; cannot serve "
+            f"a {target.kind} target")
+    index = target.graph_index if target is not None else 0
     if not 0 <= index < len(dataset.graphs):
         raise ServeError(
             f"target {index} out of range for {request.dataset!r} "
@@ -124,7 +137,9 @@ class ExplainRuntime:
             "model_seed": head.model_seed,
             "params": dict(head.params),
             "batch_size": len(requests),
-            "targets": [r.target for r in requests],
+            "sampled": head.sampled,
+            "targets": [str(r.target) if isinstance(r.target, ExplainTarget)
+                        else r.target for r in requests],
         }
 
     # ------------------------------------------------------------------
@@ -149,7 +164,16 @@ class ExplainRuntime:
         instance = resolve_instance(dataset, request)
         explainer = make_explainer(request.explainer, model,
                                    **request.params_dict())
-        batch = explain_instances(explainer, [instance], mode=request.mode,
-                                  raise_on_error=True)
-        payload, perf, trace_id = wire_explanation(batch.explanations[0])
+        if request.sampled:
+            if dataset.task != "node":
+                raise ServeError(
+                    f"dataset {request.dataset!r} is a graph task; sampled "
+                    "explanation applies to node (or link) targets")
+            explanation = SampledExplainRuntime(explainer).explain(
+                instance.graph, instance.target, mode=request.mode)
+        else:
+            batch = explain_instances(explainer, [instance], mode=request.mode,
+                                      raise_on_error=True)
+            explanation = batch.explanations[0]
+        payload, perf, trace_id = wire_explanation(explanation)
         return {"explanation": payload, "perf": perf, "trace_id": trace_id}

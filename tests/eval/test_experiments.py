@@ -76,7 +76,8 @@ class TestInstanceBuilding:
                                     correct_only=True, model=node_model)
         pred = node_model.predict(mini_ba_shapes.graph)
         for inst in instances:
-            assert pred[inst.target] == mini_ba_shapes.graph.y[inst.target]
+            node = inst.target.node_id
+            assert pred[node] == mini_ba_shapes.graph.y[node]
 
     def test_correct_only_requires_model(self, mini_ba_shapes):
         from repro.errors import EvaluationError

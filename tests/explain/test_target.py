@@ -1,0 +1,146 @@
+"""ExplainTarget: the single target vocabulary of the explanation API."""
+
+import pytest
+
+from repro.errors import ExplainerError
+from repro.explain import ExplainTarget, as_node_id
+
+
+class TestConstructors:
+    def test_node(self):
+        t = ExplainTarget.node(412)
+        assert t.kind == "node" and t.ids == (412,)
+        assert t.node_id == 412
+
+    def test_link(self):
+        t = ExplainTarget.link(3, 7)
+        assert t.kind == "link" and t.ids == (3, 7)
+        assert t.endpoints == (3, 7)
+
+    def test_graph(self):
+        assert ExplainTarget.graph().graph_index == 0
+        assert ExplainTarget.graph(5).graph_index == 5
+
+    def test_numpy_integers_accepted(self):
+        import numpy as np
+
+        assert ExplainTarget.node(np.int64(9)).node_id == 9
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, "3", True, None])
+    def test_invalid_ids_rejected(self, bad):
+        with pytest.raises(ExplainerError):
+            ExplainTarget.node(bad)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExplainerError, match="unknown target kind"):
+            ExplainTarget("edge", (1,))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ExplainerError):
+            ExplainTarget("link", (1,))
+        with pytest.raises(ExplainerError):
+            ExplainTarget("node", (1, 2))
+
+    def test_frozen_and_hashable(self):
+        t = ExplainTarget.node(4)
+        assert t == ExplainTarget.node(4)
+        assert hash(t) == hash(ExplainTarget.node(4))
+        with pytest.raises(AttributeError):
+            t.kind = "graph"
+
+    def test_wrong_kind_views_raise(self):
+        with pytest.raises(ExplainerError):
+            ExplainTarget.link(1, 2).node_id
+        with pytest.raises(ExplainerError):
+            ExplainTarget.node(1).endpoints
+        with pytest.raises(ExplainerError):
+            ExplainTarget.node(1).graph_index
+
+    def test_describe(self):
+        assert ExplainTarget.node(412).describe() == "node:412"
+        assert str(ExplainTarget.link(3, 7)) == "link:3-7"
+
+
+class TestWireCodec:
+    @pytest.mark.parametrize("target", [
+        ExplainTarget.node(0), ExplainTarget.link(3, 7), ExplainTarget.graph(2),
+    ])
+    def test_round_trip(self, target):
+        assert ExplainTarget.from_wire(target.to_wire()) == target
+
+    def test_shorthand_forms(self):
+        assert ExplainTarget.from_wire({"node": 4}) == ExplainTarget.node(4)
+        assert ExplainTarget.from_wire({"link": [3, 7]}) == ExplainTarget.link(3, 7)
+        assert ExplainTarget.from_wire({"graph": 1}) == ExplainTarget.graph(1)
+
+    def test_passthrough(self):
+        t = ExplainTarget.node(1)
+        assert ExplainTarget.from_wire(t) is t
+
+    @pytest.mark.parametrize("bad", [
+        7, [1, 2], {"node": 1, "link": [2, 3]}, {"edge": 4},
+        {"kind": "node", "ids": 3}, {"link": [1]}, {"link": 5},
+    ])
+    def test_malformed_wire_rejected(self, bad):
+        with pytest.raises(ExplainerError):
+            ExplainTarget.from_wire(bad)
+
+
+class TestLegacyCoercion:
+    def test_resolve_silent(self, recwarn):
+        assert ExplainTarget.resolve(4, task="node") == ExplainTarget.node(4)
+        assert ExplainTarget.resolve(4, task="graph") == ExplainTarget.graph(4)
+        assert ExplainTarget.resolve((3, 7)) == ExplainTarget.link(3, 7)
+        assert ExplainTarget.resolve(None) is None
+        assert len([w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]) == 0
+
+    def test_coerce_warns_on_bare_int(self):
+        with pytest.warns(DeprecationWarning, match=r"ExplainTarget\.node\(4\)"):
+            assert ExplainTarget.coerce(4, task="node") == ExplainTarget.node(4)
+
+    def test_coerce_warns_on_tuple(self):
+        with pytest.warns(DeprecationWarning, match=r"ExplainTarget\.link"):
+            assert ExplainTarget.coerce((3, 7)) == ExplainTarget.link(3, 7)
+
+    def test_coerce_names_the_entry_point(self):
+        with pytest.warns(DeprecationWarning, match="my_api"):
+            ExplainTarget.coerce(1, task="graph", where="my_api")
+
+    def test_coerce_passthrough_is_silent(self, recwarn):
+        t = ExplainTarget.node(2)
+        assert ExplainTarget.coerce(t) is t
+        assert ExplainTarget.coerce(None) is None
+        assert len([w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]) == 0
+
+
+class TestAsNodeId:
+    def test_shapes(self):
+        assert as_node_id(None) is None
+        assert as_node_id(7) == 7
+        assert as_node_id(ExplainTarget.node(7)) == 7
+        assert as_node_id(ExplainTarget.graph(3)) is None
+        assert as_node_id(ExplainTarget.link(1, 2)) is None
+
+
+class TestExplainerEntryPoint:
+    def test_bare_int_target_warns_and_matches(self, node_model, mini_ba_shapes,
+                                               good_motif_node):
+        from repro.explain import make_explainer
+
+        graph = mini_ba_shapes.graph
+        typed = make_explainer("gradcam", node_model).explain(
+            graph, ExplainTarget.node(good_motif_node))
+        with pytest.warns(DeprecationWarning, match="gradcam.explain"):
+            legacy = make_explainer("gradcam", node_model).explain(
+                graph, good_motif_node)
+        assert (typed.edge_scores == legacy.edge_scores).all()
+        assert typed.target == legacy.target == good_motif_node
+
+    def test_graph_task_rejects_node_target(self, graph_model, mini_mutag):
+        from repro.explain import make_explainer
+
+        with pytest.raises(ExplainerError, match="graph"):
+            make_explainer("gradcam", graph_model).explain(
+                mini_mutag.graphs[0], ExplainTarget.node(0))

@@ -87,7 +87,10 @@ def make_request(target=0, explainer="flowx", dataset="ba_shapes",
 
 def echo_runner(requests):
     """Instant stub runner: answers with the request coordinates."""
-    return [{"explanation": {"explainer": r.explainer, "target": r.target},
+    from repro.explain import as_node_id
+
+    return [{"explanation": {"explainer": r.explainer,
+                             "target": as_node_id(r.target)},
              "perf": {"explain_seconds": 0.0}, "trace_id": None}
             for r in requests]
 

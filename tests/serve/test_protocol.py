@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ServeError
+from repro.explain import ExplainTarget
 from repro.explain.base import Explanation
 from repro.serve import canonical_bytes, parse_explain_request, wire_explanation
 
@@ -18,16 +19,42 @@ def body(**overrides):
 
 class TestParseExplainRequest:
     def test_minimal_request_defaults(self):
-        req = parse_explain_request(body(target=7))
+        req = parse_explain_request(body(target={"node": 7}))
         assert req.dataset == "ba_shapes"
         assert req.conv == "gcn"
         assert req.explainer == "flowx"
-        assert req.target == 7
+        assert req.target == ExplainTarget.node(7)
         assert req.mode == "factual"
         assert req.scale is None
         assert req.model_seed == 0
         assert req.params == ()
         assert req.execution.timeout is None
+        assert req.sampled is False
+
+    def test_target_wire_forms(self):
+        assert parse_explain_request(body(target={"link": [1, 2]})).target \
+            == ExplainTarget.link(1, 2)
+        assert parse_explain_request(body(target={"graph": 3})).target \
+            == ExplainTarget.graph(3)
+        assert parse_explain_request(body()).target is None
+
+    def test_bare_int_target_deprecated_but_resolved(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            req = parse_explain_request(body(target=7))
+        assert req.target == ExplainTarget.node(7)  # ba_shapes is a node task
+
+    def test_sampled_flag(self):
+        assert parse_explain_request(body(sampled=True)).sampled is True
+        with pytest.raises(ServeError, match='"sampled" must be a boolean'):
+            parse_explain_request(body(sampled=1))
+
+    def test_sampled_is_part_of_the_batch_key(self):
+        # A sampled answer carries extraction metadata, so it must never
+        # coalesce with (or deduplicate against) the full-path answer.
+        plain = parse_explain_request(body(target={"node": 1}))
+        sampled = parse_explain_request(body(target={"node": 1}, sampled=True))
+        assert plain.batch_key != sampled.batch_key
+        assert plain.dedup_key != sampled.dedup_key
 
     def test_names_normalized(self):
         req = parse_explain_request(body(dataset="BA-Shapes", model="GCN",
