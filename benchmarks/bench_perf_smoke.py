@@ -2,8 +2,9 @@
 
 Measures the batched engine + flow caching against the legacy serial paths
 on the workloads the optimization targets — FlowX Shapley sampling, GNN-LRP
-finite differences, the fidelity sparsity grid, warm-cache Revelio, and the
-CSR-vs-dense-scatter scaling law on citation surrogates — asserting
+finite differences, the fidelity sparsity grid, warm-cache Revelio, the
+CSR-vs-dense-scatter scaling law on citation surrogates, and the lint
+parse-cache warm run — asserting
 numerical equality (1e-8) and writing speedups with engine counters to
 ``BENCH_perf.json`` at the repository root. Every run is also appended as
 one JSON line to ``BENCH_history.jsonl`` so CI can diff the time series.
@@ -54,6 +55,10 @@ TRAINING_SPEEDUP_FLOOR = 2.0
 # With tracing disabled (the default NullSink state) the span() calls left
 # in the hot paths must cost less than this fraction of workload wall time.
 OBS_OVERHEAD_CEILING = 0.05
+# A warm `repro lint` run served by the mtime+size parse cache must beat
+# the cold run by at least this factor on the repository's own src tree.
+# Observed warm speedups are ~3x; 1.5 leaves slack for runner jitter.
+LINT_CACHE_FLOOR = 1.5
 # Each timing is the best of REPEATS passes — shields the speedup ratios
 # from scheduler/noisy-neighbor spikes without inflating them.
 REPEATS = 3
@@ -318,6 +323,44 @@ def _measure_training_epoch() -> dict:
     }
 
 
+def _measure_lint_cache() -> dict:
+    """Cold vs. warm ``repro lint`` over the repository's own src tree.
+
+    Both passes run the full rule set (per-file and whole-program) against
+    a throwaway cache file; the warm pass must serve every file from the
+    cache and reproduce the cold pass's findings exactly. One pass each —
+    best-of-``REPEATS`` would let the cold side hit its own cache.
+    """
+    import tempfile
+
+    from repro.checks import LintCache, lint_paths
+
+    roots = [REPO_ROOT / "src"]
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_path = Path(tmp) / "lint_cache.json"
+        t0 = time.perf_counter()
+        cold = lint_paths(roots, cache=LintCache(cache_path))
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = lint_paths(roots, cache=LintCache(cache_path))
+        warm_s = time.perf_counter() - t0
+
+    assert warm.files_from_cache == warm.files_checked, (
+        f"warm lint re-parsed {warm.files_checked - warm.files_from_cache} "
+        f"of {warm.files_checked} files")
+    assert [v.to_dict() for v in warm.violations] == \
+        [v.to_dict() for v in cold.violations], \
+        "cached findings diverged from the cold run"
+    return {
+        "files": cold.files_checked,
+        "rules": len(cold.rule_codes),
+        "cold_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "speedup": round(cold_s / max(warm_s, 1e-9), 2),
+        "floor": LINT_CACHE_FLOOR,
+    }
+
+
 def _append_history(payload: dict) -> None:
     """Append this run as one JSON line to ``BENCH_history.jsonl``.
 
@@ -356,6 +399,7 @@ def run_benchmark() -> dict:
         WORKLOAD_FIDELITY_CURVE,
         WORKLOAD_FLOWX,
         WORKLOAD_GNN_LRP,
+        WORKLOAD_LINT_CACHE,
         WORKLOAD_OBS_OVERHEAD,
         WORKLOAD_REVELIO_WARM_CACHE,
         WORKLOAD_SCALING_LAW,
@@ -430,6 +474,8 @@ def run_benchmark() -> dict:
 
     results[WORKLOAD_OBS_OVERHEAD] = _measure_obs_overhead(model, graph, targets[0])
 
+    results[WORKLOAD_LINT_CACHE] = _measure_lint_cache()
+
     counters = PerfCounters.delta(perf_before, PERF.snapshot())
     wins = [n for n in (WORKLOAD_FLOWX, WORKLOAD_GNN_LRP, WORKLOAD_FIDELITY_CURVE)
             if results[n]["speedup"] >= SPEEDUP_FLOOR]
@@ -489,6 +535,11 @@ def _check_payload(payload: dict) -> list[str]:
         failures.append(
             f"disabled tracing costs {obs['overhead_fraction']:.2%} of the "
             f"workload (ceiling {OBS_OVERHEAD_CEILING:.0%})")
+    lint = payload["workloads"]["lint_cache"]
+    if lint["speedup"] < LINT_CACHE_FLOOR:
+        failures.append(
+            f"warm lint run only {lint['speedup']}x over cold "
+            f"(floor {LINT_CACHE_FLOOR}x)")
     return failures
 
 

@@ -22,17 +22,31 @@ Package map
 ``repro.graph``     graph containers and utilities
 ``repro.autograd``  the numpy autodiff substrate
 ``repro.viz``       flow tables, ASCII and DOT rendering
+``repro.checks``    repo-aware static analysis (pure stdlib)
+
+The top-level namespace is a lazy façade (PEP 562): the numeric
+subpackages import on first attribute access, so stdlib-only consumers
+— ``repro.checks`` and its whole-program lint above all — can run on a
+machine without numpy installed. ``repro.errors`` and ``repro.version``
+stay eager; they are dependency-free and everything assumes them.
 """
 
-from .core import Revelio
-from .datasets import DATASET_NAMES, load_dataset
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
 from .errors import ReproError
-from .explain import EXPLAINERS, Explainer, Explanation, make_explainer
-from .flows import FlowIndex, cached_enumerate_flows, count_flows, enumerate_flows, match_flows
-from .graph import Graph, GraphBatch
-from .obs.counters import PERF, perf_snapshot, reset_perf
-from .nn import GNN, Trainer, build_model, get_model
 from .version import __version__
+
+if TYPE_CHECKING:
+    from .core import Revelio
+    from .datasets import DATASET_NAMES, load_dataset
+    from .explain import EXPLAINERS, Explainer, Explanation, make_explainer
+    from .flows import (FlowIndex, cached_enumerate_flows, count_flows,
+                        enumerate_flows, match_flows)
+    from .graph import Graph, GraphBatch
+    from .nn import GNN, Trainer, build_model, get_model
+    from .obs.counters import PERF, perf_snapshot, reset_perf
 
 __all__ = [
     "__version__",
@@ -59,3 +73,46 @@ __all__ = [
     "DATASET_NAMES",
     "ReproError",
 ]
+
+#: Re-exported name -> defining submodule, resolved on first access.
+_EXPORTS = {
+    "Revelio": "repro.core",
+    "DATASET_NAMES": "repro.datasets",
+    "load_dataset": "repro.datasets",
+    "EXPLAINERS": "repro.explain",
+    "Explainer": "repro.explain",
+    "Explanation": "repro.explain",
+    "make_explainer": "repro.explain",
+    "FlowIndex": "repro.flows",
+    "cached_enumerate_flows": "repro.flows",
+    "count_flows": "repro.flows",
+    "enumerate_flows": "repro.flows",
+    "match_flows": "repro.flows",
+    "Graph": "repro.graph",
+    "GraphBatch": "repro.graph",
+    "PERF": "repro.obs.counters",
+    "perf_snapshot": "repro.obs.counters",
+    "reset_perf": "repro.obs.counters",
+    "GNN": "repro.nn",
+    "Trainer": "repro.nn",
+    "build_model": "repro.nn",
+    "get_model": "repro.nn",
+}
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value  # cache: __getattr__ runs once per name
+        return value
+    # PEP 562 contract: __getattr__ must raise AttributeError, not a
+    # ReproError — hasattr()/dir() tooling depends on the builtin type.
+    raise AttributeError(  # repro: noqa[RPR012]
+        f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(__all__) | set(globals()))

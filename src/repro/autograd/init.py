@@ -8,7 +8,10 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["glorot_uniform", "kaiming_uniform", "zeros", "ones", "uniform", "normal"]
+# The full palette stays exported even where the zoo only reaches for
+# glorot/zeros today: initializers are user-facing model-building API.
+__all__ = ["glorot_uniform", "kaiming_uniform", "zeros",  # repro: noqa[RPR110]
+           "ones", "uniform", "normal"]
 
 
 def glorot_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:

@@ -23,12 +23,22 @@ claims rest on, in six families:
   slow work runs on the coalescer's executor thread (RPR060);
 * **target typing** — public explain/eval/serve/sampling entry points
   type their ``target``/``targets`` parameters as ``ExplainTarget``, the
-  one vocabulary for "what is being explained" (RPR070).
+  one vocabulary for "what is being explained" (RPR070);
+* **whole-program analysis** (:mod:`repro.checks.program`) — import
+  cycles and the declared layering contract (RPR100–RPR101), dead
+  exports / ``__all__`` drift / private-module reach-ins
+  (RPR110–RPR112), kernel-backend signature contracts and deprecation
+  sunsets (RPR120–RPR121), and transitive blocking-call reachability
+  from serve coroutines (RPR130).
 
-Run as ``repro lint src tests`` (CI gates on it) or through
-:func:`lint_paths` / :func:`run_lint`. Per-line suppression:
+Run as ``repro lint src tests benchmarks examples`` (CI gates on it) or
+through :func:`lint_paths` / :func:`run_lint`. Per-line suppression:
 ``# repro: noqa[RPR012]`` (with the code — bare ``# repro: noqa``
-suppresses every rule on the line).
+suppresses every rule on the line); a noqa anywhere on a multi-line
+statement or its decorators covers the whole logical line. Warm runs
+reuse the mtime+size parse cache (:mod:`repro.checks.cache`,
+``--no-cache`` to bypass); ``--format sarif`` emits SARIF 2.1.0 for
+code-scanning upload.
 
 The pass is *repo-aware*: rules read the live ``ReproError`` hierarchy,
 the ``ExecutionConfig`` legacy-field table and the ``repro.obs.names``
@@ -38,33 +48,31 @@ extends the lint without touching the rules.
 
 from __future__ import annotations
 
+from .cache import LintCache
 from .engine import FileContext, LintResult, Violation, collect_files, lint_paths
-from .registry import RULES, Rule, all_rules, register, resolve_codes
+from .registry import RULES, ProgramRule, Rule, all_rules, register, resolve_codes
 from .report import format_rule_listing, run_lint
+from .sarif import to_sarif
 
-# Importing the rule modules registers their rules (stable-code registry).
+# Importing the rule modules registers their rules (stable-code registry);
+# program comes last — its rules consume the engine's FileSummary digests.
 from . import (api, benchconf, blocking, determinism, discipline, obsconf,
-               scatter, targets)
+               program, scatter, targets)
 
 __all__ = [
     "Violation",
     "FileContext",
     "LintResult",
+    "LintCache",
     "lint_paths",
     "collect_files",
     "Rule",
+    "ProgramRule",
     "RULES",
     "register",
     "all_rules",
     "resolve_codes",
     "run_lint",
     "format_rule_listing",
-    "api",
-    "benchconf",
-    "blocking",
-    "determinism",
-    "discipline",
-    "obsconf",
-    "scatter",
-    "targets",
+    "to_sarif",
 ]

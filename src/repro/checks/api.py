@@ -17,7 +17,7 @@ from typing import Iterator
 from .engine import FileContext, Violation, dotted_name
 from .registry import Rule, register
 
-__all__ = ["PositionalDefaults", "FlatExecutionKwargs"]
+__all__: list[str] = []
 
 #: Entry points that take an ``execution=ExecutionConfig(...)`` object.
 _EXECUTION_ENTRY_POINTS = frozenset({

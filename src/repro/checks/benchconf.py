@@ -21,7 +21,7 @@ from .engine import FileContext, Violation
 from .obsconf import _hint
 from .registry import Rule, register
 
-__all__ = ["UnregisteredWorkloadName"]
+__all__: list[str] = []
 
 
 def _workload_names() -> frozenset[str]:

@@ -22,10 +22,12 @@ from typing import Iterator
 from .engine import FileContext, Violation, dotted_name
 from .registry import Rule, register
 
-__all__ = ["BlockingCallInCoroutine"]
+__all__ = ["BLOCKING_CALLS", "BLOCKING_BARE"]
 
-#: Blocking dotted calls -> the async replacement to suggest.
-_BLOCKING_CALLS = {
+#: Blocking dotted calls -> the async replacement to suggest. Shared
+#: with RPR130, which extends the same table transitively through the
+#: call graph (repro.checks.program.dataflow).
+BLOCKING_CALLS = {
     "time.sleep": "await asyncio.sleep(...)",
     "subprocess.run": "await asyncio.create_subprocess_exec(...)",
     "subprocess.call": "await asyncio.create_subprocess_exec(...)",
@@ -43,7 +45,7 @@ _BLOCKING_CALLS = {
 }
 
 #: Blocking bare-name calls (builtins) -> suggestion.
-_BLOCKING_BARE = {
+BLOCKING_BARE = {
     "open": "loop.run_in_executor(...) — file I/O belongs on the "
             "numerics thread, not the event loop",
     "input": "an out-of-band control channel; coroutines must not wait "
@@ -89,15 +91,15 @@ class BlockingCallInCoroutine(Rule):
                 continue
             for call in _calls_with_async_scope(scope):
                 called = dotted_name(call.func)
-                if called in _BLOCKING_CALLS:
+                if called in BLOCKING_CALLS:
                     yield self.violation(
                         ctx, call,
                         f"blocking {called}() inside coroutine "
                         f"{scope.name!r} stalls the event loop; use "
-                        f"{_BLOCKING_CALLS[called]}")
-                elif called in _BLOCKING_BARE:
+                        f"{BLOCKING_CALLS[called]}")
+                elif called in BLOCKING_BARE:
                     yield self.violation(
                         ctx, call,
                         f"blocking {called}() inside coroutine "
                         f"{scope.name!r} stalls the event loop; use "
-                        f"{_BLOCKING_BARE[called]}")
+                        f"{BLOCKING_BARE[called]}")

@@ -1,0 +1,116 @@
+"""Warm-run parse cache for ``repro lint``.
+
+Parsing ~250 files dominates a lint run; findings only change when a
+file (or the checker itself) changes. The cache keys every linted file
+on ``(mtime, size)`` plus a fingerprint of the :mod:`repro.checks`
+package sources, and stores the per-file findings together with the
+file's :class:`~repro.checks.program.summary.FileSummary` — so a warm
+run re-parses only what changed while the whole-program rules still see
+every module's imports, exports and call edges.
+
+The cache lives in ``.repro_lint_cache.json`` (git-ignored) next to
+wherever lint runs; ``repro lint --no-cache`` bypasses it. Corrupt or
+stale-schema caches are discarded silently — the cache can only ever
+cost a re-parse, never a wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from .engine import Violation
+    from .program.summary import FileSummary
+
+__all__ = ["LintCache", "DEFAULT_CACHE_PATH", "checks_fingerprint"]
+
+DEFAULT_CACHE_PATH = ".repro_lint_cache.json"
+
+#: Bump when the entry layout changes shape.
+_SCHEMA = 1
+
+
+def checks_fingerprint() -> str:
+    """Digest of the checker's own sources (name, mtime, size per file).
+
+    Editing any rule or engine module invalidates every cached finding —
+    the cheap, conservative stand-in for hashing rule semantics.
+    """
+    package_root = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        digest.update(f"{path.name}:{stat.st_mtime_ns}:{stat.st_size};"
+                      .encode())
+    return digest.hexdigest()[:16]
+
+
+class LintCache:
+    """mtime+size-keyed store of per-file findings and summaries."""
+
+    def __init__(self, path: str | Path = DEFAULT_CACHE_PATH):
+        self.path = Path(path)
+        self._fingerprint = checks_fingerprint()
+        self._entries: dict[str, dict[str, Any]] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict) \
+                or payload.get("schema") != _SCHEMA \
+                or payload.get("fingerprint") != self._fingerprint:
+            return
+        entries = payload.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def lookup(self, display: str, stat: os.stat_result,
+               rule_codes: list[str]) -> dict[str, Any] | None:
+        """The cached entry for ``display``, if still valid."""
+        entry = self._entries.get(display)
+        if entry is None:
+            return None
+        if entry.get("mtime_ns") != stat.st_mtime_ns \
+                or entry.get("size") != stat.st_size \
+                or entry.get("rules") != rule_codes:
+            return None
+        return entry
+
+    def store(self, display: str, stat: os.stat_result,
+              rule_codes: list[str], violations: "list[Violation]",
+              summary: "FileSummary") -> None:
+        self._entries[display] = {
+            "mtime_ns": stat.st_mtime_ns,
+            "size": stat.st_size,
+            "rules": list(rule_codes),
+            "violations": [v.to_dict() for v in violations],
+            "summary": summary.to_dict(),
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist atomically (write-rename); failures are non-fatal."""
+        if not self._dirty:
+            return
+        payload = {"schema": _SCHEMA, "fingerprint": self._fingerprint,
+                   "files": self._entries}
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+        self._dirty = False

@@ -15,7 +15,7 @@ from typing import Iterator
 from .engine import FileContext, Violation, dotted_name
 from .registry import Rule, register
 
-__all__ = ["GlobalRandomState", "WallClockSeed", "SetOrderIteration"]
+__all__: list[str] = []
 
 #: numpy.random attributes that construct *seeded, instance-local*
 #: generators — everything else on the module touches process-global state.

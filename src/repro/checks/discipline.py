@@ -18,7 +18,7 @@ from typing import Iterator
 from .engine import FileContext, Violation
 from .registry import Rule, register
 
-__all__ = ["BareExcept", "SwallowedException", "ForeignRaise"]
+__all__: list[str] = []
 
 
 def _repro_error_names() -> set[str]:

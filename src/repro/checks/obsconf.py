@@ -17,7 +17,7 @@ from typing import Iterator
 from .engine import FileContext, Violation, dotted_name
 from .registry import Rule, register
 
-__all__ = ["UnregisteredSpanName", "UnregisteredPerfName"]
+__all__: list[str] = []
 
 #: Non-counter attributes legal on the PERF object.
 _PERF_METHODS = frozenset({

@@ -1,0 +1,147 @@
+"""Cross-file contract rules: RPR120 (kernel backend signatures) and
+RPR121 (deprecation sunsets).
+
+Two promises the tree makes in prose become machine-checked facts here:
+
+* The kernel registry's plugin contract — "a backend implements the ops
+  it accelerates with the required backend's signatures" — is verified
+  statically: every ``register_kernel(op, backend, fn)`` call site in
+  the program is collected, the required backend's implementations
+  define the reference arity per op, and every other backend's
+  registered function must match it (RPR120).
+* The "legacy shapes work one release behind a DeprecationWarning"
+  promise (flat ExecutionConfig kwargs, bare-int targets, two-tuple
+  subgraphs) is only a promise if the shims actually die. Every
+  ``DeprecationWarning`` in library code must carry a machine-readable
+  ``# repro: sunset[X.Y]`` marker, and once the ``pyproject.toml``
+  version reaches X.Y the shim fails lint until deleted (RPR121).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..registry import ProgramRule, register
+from .context import ProgramContext, parse_version
+from .summary import FileSummary, FunctionSummary
+
+__all__ = ["KernelBackendContract", "DeprecationSunset"]
+
+
+@register
+class KernelBackendContract(ProgramRule):
+    code = "RPR120"
+    name = "kernel-backend-contract"
+    rationale = ("A plugin backend whose kernel signature drifts from "
+                 "the required backend's fails at dispatch time on the "
+                 "one machine that has the optional dependency; the "
+                 "registry contract is checkable at lint time instead.")
+
+    #: The registry module's constant naming the always-complete backend.
+    _REQUIRED_CONST = "REQUIRED_BACKEND"
+
+    def _registry_module(self, program: ProgramContext) -> FileSummary | None:
+        for summary in program.iter_modules():
+            if "register_kernel" in summary.defs:
+                return summary
+        return None
+
+    def check_program(self, program: ProgramContext) -> Iterator:
+        registry = self._registry_module(program)
+        if registry is None:
+            return
+        required = registry.consts.get(self._REQUIRED_CONST, "scipy")
+        # op -> reference positional params, from the required backend's
+        # registrations (which live in the registry module itself).
+        reference: dict[str, list[str]] = {}
+        for call in registry.register_calls:
+            if call.backend != required or call.op is None or call.fn is None:
+                continue
+            table = program.function_table(registry.module)
+            fn = table.get(call.fn)
+            if fn is not None:
+                reference[call.op] = fn.params
+        if not reference:
+            return
+        for summary in program.iter_modules():
+            for call in summary.register_calls:
+                if call.backend is None or call.backend == required:
+                    continue
+                if call.op is not None and call.op not in reference:
+                    yield self.program_violation(
+                        summary.display, call.lineno, call.col,
+                        f"backend {call.backend!r} registers unknown op "
+                        f"{call.op!r}; the required backend "
+                        f"({required!r}) defines: "
+                        f"{', '.join(sorted(reference))}")
+                    continue
+                if call.op is None or call.fn is None:
+                    continue
+                fn = program.function_table(summary.module).get(call.fn)
+                if fn is None:
+                    resolved = program.resolve_call(
+                        summary.module,
+                        FunctionSummary(name="", qualname="", is_async=False,
+                                        lineno=0, params=[]),
+                        call.fn)
+                    fn = resolved[1] if resolved is not None else None
+                if fn is None:
+                    continue  # lambda / dynamically built — not checkable
+                expected = reference[call.op]
+                if len(fn.params) != len(expected):
+                    yield self.program_violation(
+                        summary.display, call.lineno, call.col,
+                        f"backend {call.backend!r} op {call.op!r}: "
+                        f"{fn.name}() takes {len(fn.params)} positional "
+                        f"parameter(s) ({', '.join(fn.params) or 'none'}) "
+                        f"but the required backend's signature is "
+                        f"({', '.join(expected)})")
+
+
+@register
+class DeprecationSunset(ProgramRule):
+    code = "RPR121"
+    name = "deprecation-sunset"
+    rationale = ("'One release behind a DeprecationWarning' is only a "
+                 "promise if the shim dies on schedule: every "
+                 "DeprecationWarning needs a machine-readable "
+                 "`# repro: sunset[X.Y]`, and lint fails the shim once "
+                 "the pyproject version reaches it.")
+
+    #: Library scope: shims live in the package, not in tests that
+    #: deliberately exercise them.
+    _SCOPE = "repro"
+
+    def check_program(self, program: ProgramContext) -> Iterator:
+        version = program.project_version()
+        for summary in program.iter_modules():
+            if not (summary.module == self._SCOPE
+                    or summary.module.startswith(self._SCOPE + ".")):
+                continue
+            for warn in summary.warns:
+                if warn.category != "DeprecationWarning":
+                    continue
+                if warn.sunset is None:
+                    yield self.program_violation(
+                        summary.display, warn.lineno, warn.col,
+                        "DeprecationWarning without a sunset: add "
+                        "`# repro: sunset[X.Y]` on the warn statement "
+                        "so the shim's removal release is machine-"
+                        "checkable")
+                    continue
+                sunset = parse_version(warn.sunset)
+                if sunset is None:
+                    yield self.program_violation(
+                        summary.display, warn.lineno, warn.col,
+                        f"malformed sunset marker "
+                        f"`# repro: sunset[{warn.sunset}]`: expected a "
+                        f"dotted version like 2.0")
+                    continue
+                if version is not None and version >= sunset:
+                    yield self.program_violation(
+                        summary.display, warn.lineno, warn.col,
+                        f"deprecation shim past its sunset: marked "
+                        f"`sunset[{warn.sunset}]` but the project is at "
+                        f"{'.'.join(str(p) for p in version)}; delete "
+                        f"the shim and its legacy path")
+

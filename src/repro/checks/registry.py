@@ -17,8 +17,10 @@ from ..errors import CheckError
 
 if TYPE_CHECKING:
     from .engine import FileContext, Violation
+    from .program.context import ProgramContext
 
-__all__ = ["Rule", "RULES", "register", "all_rules", "resolve_codes"]
+__all__ = ["Rule", "ProgramRule", "RULES", "register", "all_rules",
+           "resolve_codes"]
 
 _CODE_RE = re.compile(r"^RPR\d{3}$")
 
@@ -39,6 +41,10 @@ class Rule:
     name: ClassVar[str] = ""
     #: One-sentence why — surfaced by ``repro lint --list-rules`` and DESIGN.md.
     rationale: ClassVar[str] = ""
+    #: ``"file"`` rules see one :class:`FileContext` at a time;
+    #: ``"program"`` rules (subclass :class:`ProgramRule`) see the whole
+    #: tree at once through a ``ProgramContext``.
+    scope: ClassVar[str] = "file"
 
     def applies(self, ctx: "FileContext") -> bool:
         """Whether this rule runs on ``ctx`` at all (default: every file)."""
@@ -56,6 +62,38 @@ class Rule:
         return Violation(code=self.code, message=message, path=ctx.display,
                          line=getattr(node, "lineno", 1),
                          col=getattr(node, "col_offset", 0))
+
+
+class ProgramRule(Rule):
+    """A rule that reasons across files instead of within one.
+
+    The engine collects one :class:`~repro.checks.program.summary.FileSummary`
+    per linted file, assembles them into a
+    :class:`~repro.checks.program.context.ProgramContext` (symbol tables,
+    import DAG, call graphs) and hands the whole thing to
+    :meth:`check_program` exactly once per run. Per-line ``# repro:
+    noqa[...]`` suppression applies to the reported locations the same
+    way it does for per-file rules.
+    """
+
+    scope: ClassVar[str] = "program"
+
+    def check(self, ctx: "FileContext") -> Iterator["Violation"]:
+        raise CheckError(
+            f"{self.code} is a whole-program rule; the engine must call "
+            f"check_program(), not check()")
+
+    def check_program(self, program: "ProgramContext") -> Iterator["Violation"]:
+        """Yield every violation of this rule across ``program``."""
+        raise NotImplementedError
+
+    def program_violation(self, display: str, line: int, col: int,
+                          message: str) -> "Violation":
+        """Build a :class:`Violation` at an explicit location."""
+        from .engine import Violation
+
+        return Violation(code=self.code, message=message, path=display,
+                         line=line, col=col)
 
 
 def register(cls: type[Rule]) -> type[Rule]:

@@ -1,9 +1,11 @@
-"""Lint output: human one-line-per-finding text and the ``--json`` form.
+"""Lint output: text, ``--json``, and SARIF 2.1.0 forms.
 
 :func:`run_lint` is the single entry point both the ``repro lint`` CLI
-subcommand and tests call: it resolves the rule selection, lints, prints
-to the given stream, and returns the process exit code (0 clean,
-1 violations, 2 engine/usage errors).
+subcommand and tests call: it resolves the rule selection (optionally
+narrowed to the per-file or whole-program scope), lints — through the
+warm-run parse cache when given a ``cache_path`` — prints to the given
+stream in the requested format, and returns the process exit code
+(0 clean, 1 violations, 2 engine/usage errors).
 """
 
 from __future__ import annotations
@@ -18,6 +20,9 @@ from .registry import all_rules, resolve_codes
 
 __all__ = ["run_lint", "format_rule_listing"]
 
+_FORMATS = ("text", "json", "sarif")
+_SCOPES = ("all", "file", "program")
+
 
 def format_rule_listing() -> list[str]:
     """``code  name  rationale`` rows for every registered rule."""
@@ -29,34 +34,67 @@ def format_rule_listing() -> list[str]:
 
 def run_lint(paths: Sequence[str], *, select: Sequence[str] | None = None,
              json_output: bool = False, list_rules: bool = False,
+             output_format: str | None = None, scope: str = "all",
+             cache_path: str | None = None,
              stream: TextIO | None = None) -> int:
-    """Lint ``paths`` and print findings; returns the exit code."""
+    """Lint ``paths`` and print findings; returns the exit code.
+
+    ``json_output=True`` is the legacy spelling of
+    ``output_format="json"``; ``scope`` narrows the run to per-file or
+    whole-program rules (the CI job split); ``cache_path`` enables the
+    mtime+size parse cache at that location.
+    """
     out = stream if stream is not None else sys.stdout
+    fmt = output_format or ("json" if json_output else "text")
     if list_rules:
         for row in format_rule_listing():
             print(row, file=out)
         return 0
+
+    def usage_error(message: str) -> int:
+        if fmt == "text":
+            print(f"error: {message}", file=out)
+        else:
+            print(json.dumps({"error": message}), file=out)
+        return 2
+
+    if fmt not in _FORMATS:
+        return usage_error(f"unknown format {fmt!r}; "
+                           f"expected one of {', '.join(_FORMATS)}")
+    if scope not in _SCOPES:
+        return usage_error(f"unknown scope {scope!r}; "
+                           f"expected one of {', '.join(_SCOPES)}")
     try:
         rules = resolve_codes(select)
     except CheckError as exc:
-        if json_output:
-            print(json.dumps({"error": str(exc)}), file=out)
-        else:
-            print(f"error: {exc}", file=out)
-        return 2
-    result = lint_paths(paths, rules=rules)
-    if json_output:
+        return usage_error(str(exc))
+    if scope != "all":
+        rules = [r for r in rules if r.scope == scope]
+    cache = None
+    if cache_path is not None:
+        from .cache import LintCache
+
+        cache = LintCache(cache_path)
+    result = lint_paths(paths, rules=rules, cache=cache)
+    if fmt == "json":
         print(json.dumps(result.to_dict(), indent=2), file=out)
+        return result.exit_code
+    if fmt == "sarif":
+        from .sarif import to_sarif
+
+        print(json.dumps(to_sarif(result), indent=2), file=out)
         return result.exit_code
     for violation in result.violations:
         print(violation.format(), file=out)
     for path, message in result.errors:
         print(f"{path}: error: {message}", file=out)
     n = len(result.violations)
+    cached = f", {result.files_from_cache} from cache" \
+        if result.files_from_cache else ""
     if result.clean:
         print(f"{result.files_checked} file(s) clean "
-              f"({len(result.rule_codes)} rules)", file=out)
+              f"({len(result.rule_codes)} rules{cached})", file=out)
     else:
         print(f"{n} violation(s), {len(result.errors)} error(s) in "
-              f"{result.files_checked} file(s)", file=out)
+              f"{result.files_checked} file(s){cached}", file=out)
     return result.exit_code

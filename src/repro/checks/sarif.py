@@ -1,0 +1,86 @@
+"""SARIF 2.1.0 output for ``repro lint --format sarif``.
+
+One static-analysis interchange document per run, built from a
+:class:`~repro.checks.engine.LintResult`: the registered rules become
+``tool.driver.rules`` (stable RPRxxx ids with their rationale), findings
+become ``results`` with 1-based line/column regions, and files the
+engine could not check (unreadable, syntax errors) become
+``toolExecutionNotifications`` on the invocation so they surface in
+code-scanning UIs instead of vanishing. CI uploads the document to
+GitHub code scanning; the schema is the plain published 2.1.0 one, no
+extensions.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..version import __version__
+from .engine import LintResult
+from .registry import all_rules
+
+__all__ = ["to_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def to_sarif(result: LintResult) -> dict[str, Any]:
+    """The SARIF 2.1.0 document for one lint run, as plain dicts."""
+    rules = []
+    rule_index: dict[str, int] = {}
+    for rule in all_rules():
+        rule_index[rule.code] = len(rules)
+        rules.append({
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name.replace("-", " ")},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        })
+    results = []
+    for violation in result.violations:
+        entry: dict[str, Any] = {
+            "ruleId": violation.code,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": violation.path},
+                    "region": {
+                        "startLine": violation.line,
+                        # SARIF columns are 1-based; the engine's are
+                        # 0-based AST offsets.
+                        "startColumn": violation.col + 1,
+                    },
+                },
+            }],
+        }
+        if violation.code in rule_index:
+            entry["ruleIndex"] = rule_index[violation.code]
+        results.append(entry)
+    notifications = [{
+        "level": "error",
+        "message": {"text": message},
+        "locations": [{
+            "physicalLocation": {"artifactLocation": {"uri": path}},
+        }],
+    } for path, message in result.errors]
+    return {
+        "version": _SARIF_VERSION,
+        "$schema": _SCHEMA_URI,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "version": __version__,
+                    "rules": rules,
+                },
+            },
+            "results": results,
+            "invocations": [{
+                "executionSuccessful": not result.errors,
+                "toolExecutionNotifications": notifications,
+            }],
+        }],
+    }

@@ -20,7 +20,7 @@ from typing import Iterator
 from .engine import FileContext, Violation, dotted_name
 from .registry import Rule, register
 
-__all__ = ["RawUfuncScatter"]
+__all__: list[str] = []
 
 #: Dotted call names that bypass the kernel registry.
 _SERIAL_SCATTERS = {

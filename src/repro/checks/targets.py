@@ -19,7 +19,7 @@ from typing import Iterator
 from .engine import FileContext, Violation
 from .registry import Rule, register
 
-__all__ = ["UntypedExplainTargets"]
+__all__: list[str] = []
 
 #: Parameter names the rule considers target-carrying.
 _TARGET_PARAMS = frozenset({"target", "targets"})

@@ -14,7 +14,12 @@ Commands
                                         traced run (merged trace + manifest)
 ``repro trace summarize runs/fid_trace.jsonl``
                                         per-method, per-stage time breakdown
-``repro lint src tests``                repo-aware static analysis (RPRxxx rules)
+``repro lint``                          repo-aware static analysis (RPRxxx
+                                        rules, per-file + whole-program) over
+                                        src/tests/benchmarks/examples; warm
+                                        runs reuse a parse cache
+                                        (``--no-cache`` to bypass) and
+                                        ``--format sarif`` emits SARIF 2.1.0
 ``repro bench --check``                 gate the latest BENCH_history.jsonl run
                                         against the committed BENCH_perf.json
                                         floors (exit 0 pass / 1 regression /
@@ -109,13 +114,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint", help="run the repro.checks static-analysis rules")
-    p_lint.add_argument("paths", nargs="*", default=["src", "tests"],
-                        help="files or directories to lint (default: src tests)")
+    p_lint.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint (default: every "
+                             "existing one of src tests benchmarks examples)")
     p_lint.add_argument("--json", action="store_true", dest="json_output",
-                        help="machine-readable findings on stdout")
+                        help="machine-readable findings on stdout "
+                             "(same as --format json)")
+    p_lint.add_argument("--format", default=None, dest="output_format",
+                        choices=("text", "json", "sarif"),
+                        help="output format (sarif: SARIF 2.1.0 for "
+                             "code-scanning upload)")
     p_lint.add_argument("--select", default=None, metavar="CODES",
                         help="comma-separated rule codes to run "
                              "(e.g. RPR001,RPR010); default all")
+    p_lint.add_argument("--scope", default="all",
+                        choices=("all", "file", "program"),
+                        help="run only per-file or only whole-program rules "
+                             "(default: all)")
+    p_lint.add_argument("--no-cache", action="store_true",
+                        help="bypass the .repro_lint_cache.json parse cache")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print every registered rule and exit")
 
@@ -229,11 +246,22 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "lint":
-        from .checks import run_lint
+        from pathlib import Path
 
+        from .checks import run_lint
+        from .checks.cache import DEFAULT_CACHE_PATH
+
+        paths = args.paths
+        if not paths:
+            paths = [p for p in ("src", "tests", "benchmarks", "examples")
+                     if Path(p).exists()]
         select = args.select.split(",") if args.select else None
-        return run_lint(args.paths, select=select,
+        return run_lint(paths, select=select,
                         json_output=args.json_output,
+                        output_format=args.output_format,
+                        scope=args.scope,
+                        cache_path=None if args.no_cache
+                        else DEFAULT_CACHE_PATH,
                         list_rules=args.list_rules)
 
     if args.command == "trace":

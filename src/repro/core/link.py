@@ -111,7 +111,7 @@ class LinkRevelio:
         ``DeprecationWarning``.
         """
         if _legacy_v is not None:
-            warnings.warn(
+            warnings.warn(  # repro: sunset[2.0]
                 "link_revelio.explain(graph, u, v) is deprecated; pass "
                 "ExplainTarget.link(u, v)", DeprecationWarning, stacklevel=2)
             target = ExplainTarget.link(int(target), int(_legacy_v))  # type: ignore[arg-type]

@@ -50,8 +50,7 @@ from ..obs.names import SPAN_EPOCH, SPAN_OPTIMIZE
 from ..rng import ensure_rng
 
 __all__ = ["Revelio", "MASK_ACTIVATIONS", "LAYER_WEIGHT_ACTIVATIONS",
-           "EXPLANATION_CACHE", "clear_explanation_cache",
-           "explanation_cache_disabled"]
+           "clear_explanation_cache", "explanation_cache_disabled"]
 
 # Ablation knobs discussed in §IV-B of the paper.
 MASK_ACTIVATIONS = ("tanh", "sigmoid")

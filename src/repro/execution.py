@@ -126,7 +126,7 @@ def coerce_execution(func_name: str, execution: ExecutionConfig | None,
             if value is not None:
                 legacy[field_name] = value
     if legacy:
-        warnings.warn(
+        warnings.warn(  # repro: sunset[2.0]
             f"passing {', '.join(sorted(legacy))} directly to {func_name}() "
             f"is deprecated; pass execution=ExecutionConfig(...) instead",
             DeprecationWarning, stacklevel=3,
@@ -158,7 +158,7 @@ def accept_legacy_positionals(func_name: str, legacy_args: tuple,
             f"argument{'s' if len(names) != 1 else ''} "
             f"({', '.join(names)}); got {len(legacy_args)}")
     taken = names[:len(legacy_args)]
-    warnings.warn(
+    warnings.warn(  # repro: sunset[2.0]
         f"passing {', '.join(taken)} positionally to {func_name}() is "
         f"deprecated; pass them as keyword arguments",
         DeprecationWarning, stacklevel=3,

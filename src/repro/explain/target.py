@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 from ..errors import ExplainerError
 
-__all__ = ["ExplainTarget", "TARGET_KINDS", "as_node_id"]
+__all__ = ["ExplainTarget", "as_node_id"]
 
 TARGET_KINDS = ("node", "link", "graph")
 
@@ -198,7 +198,7 @@ class ExplainTarget:
         hint = {"node": f"ExplainTarget.node({target.ids[0]})",
                 "link": f"ExplainTarget.link{target.ids}",
                 "graph": f"ExplainTarget.graph({target.ids[0]})"}[target.kind]
-        warnings.warn(
+        warnings.warn(  # repro: sunset[2.0]
             f"{where}: bare {type(value).__name__} targets are deprecated; "
             f"pass {hint}", DeprecationWarning, stacklevel=_WARN_STACKLEVEL)
         return target

@@ -185,7 +185,7 @@ class SampledSubgraph:
         return self.node_ids, self.edge_mask
 
     def _warn_tuple(self) -> None:
-        warnings.warn(
+        warnings.warn(  # repro: sunset[2.0]
             "unpacking k_hop_subgraph() as a (node_ids, edge_mask) tuple is "
             "deprecated; use the SampledSubgraph fields (.node_ids, "
             ".edge_mask, .graph, .edge_positions) instead",

@@ -16,7 +16,7 @@ from .obs.counters import PERF, PerfCounters, perf_snapshot, reset_perf
 
 __all__ = ["PerfCounters", "PERF", "perf_snapshot", "reset_perf"]
 
-warnings.warn(
+warnings.warn(  # repro: sunset[2.0]
     "repro.instrumentation is deprecated; import PERF/PerfCounters/"
     "perf_snapshot/reset_perf from repro.obs instead",
     DeprecationWarning,

@@ -44,7 +44,6 @@ __all__ = [
     "segment_softmax_np",
     "segment_softmax_edge_major",
     "apply_dense_np",
-    "relu_np",
 ]
 
 

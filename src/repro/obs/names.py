@@ -46,6 +46,7 @@ __all__ = [
     "WORKLOAD_TRAINING_EPOCH",
     "WORKLOAD_SERVING_LOAD",
     "WORKLOAD_SAMPLED_EXPLAIN",
+    "WORKLOAD_LINT_CACHE",
     "WORKLOAD_NAMES",
 ]
 
@@ -145,6 +146,9 @@ WORKLOAD_SERVING_LOAD = "serving_load"
 #: Receptive-field sampled explanation vs. the full-graph path at scaled
 #: Cora sizes (wall-clock speedup + peak-memory ratio + exact parity).
 WORKLOAD_SAMPLED_EXPLAIN = "sampled_explain"
+#: ``repro lint`` cold vs. warm run over the repository's own tree — the
+#: warm run is served by the ``.repro_lint_cache.json`` parse cache.
+WORKLOAD_LINT_CACHE = "lint_cache"
 
 WORKLOAD_NAMES: frozenset[str] = frozenset({
     WORKLOAD_FLOWX,
@@ -157,4 +161,5 @@ WORKLOAD_NAMES: frozenset[str] = frozenset({
     WORKLOAD_TRAINING_EPOCH,
     WORKLOAD_SERVING_LOAD,
     WORKLOAD_SAMPLED_EXPLAIN,
+    WORKLOAD_LINT_CACHE,
 })

@@ -20,7 +20,7 @@ import time
 from ..errors import RunnerError
 
 __all__ = ["EXECUTORS", "register_executor", "execute_job",
-           "experiment_context", "clear_context_cache"]
+           "experiment_context"]
 
 EXECUTORS: dict = {}
 

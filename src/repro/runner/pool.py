@@ -48,7 +48,7 @@ from .execute import execute_job
 from .journal import Journal, load_journal
 from .plan import JobSpec
 
-__all__ = ["run_jobs", "RETRYABLE_DEFAULTS"]
+__all__ = ["run_jobs"]
 
 RETRYABLE_DEFAULTS = {"retries": 1, "backoff": 0.1}
 

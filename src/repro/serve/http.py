@@ -15,7 +15,7 @@ import json
 
 from ..errors import ServeError
 
-__all__ = ["HttpRequest", "read_request", "response_bytes", "STATUS_REASONS"]
+__all__ = ["HttpRequest", "read_request", "response_bytes"]
 
 STATUS_REASONS = {
     200: "OK",

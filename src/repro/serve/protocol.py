@@ -43,7 +43,6 @@ __all__ = [
     "parse_explain_request",
     "wire_explanation",
     "canonical_bytes",
-    "CONVS",
 ]
 
 #: Convolution architectures the model zoo can serve.
@@ -172,7 +171,7 @@ def _parse_target(value: object, dataset: str) -> ExplainTarget | None:
             'request field "target" must be a target object '
             '({"node": i} / {"link": [u, v]} / {"graph": j}), an integer '
             "(deprecated) or null")
-    warnings.warn(
+    warnings.warn(  # repro: sunset[2.0]
         'integer "target" request fields are deprecated; send {"node": i} '
         'or {"graph": i}', DeprecationWarning, stacklevel=3)
     try:

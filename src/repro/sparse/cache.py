@@ -45,7 +45,7 @@ import scipy.sparse as sp
 from .structure import SegmentPlan, augmented_edges
 
 __all__ = ["GraphSparseCache", "sparse_cache", "edge_cache", "plan_for",
-           "feature_csr", "memo_info", "FEATURE_DENSITY_CEILING"]
+           "feature_csr"]
 
 #: Densest feature matrix worth a CSR twin: above this, BLAS on the dense
 #: array beats sparse matvecs and :func:`feature_csr` memoizes ``None``.

@@ -1,0 +1,82 @@
+"""The warm-run parse cache: hits, invalidation, and corruption safety."""
+
+import json
+
+from repro.checks import lint_paths
+from repro.checks.cache import DEFAULT_CACHE_PATH, LintCache, checks_fingerprint
+
+
+def run(tmp_path, cache_path):
+    return lint_paths([tmp_path / "src"], cache=LintCache(cache_path))
+
+
+class TestWarmRuns:
+    def test_warm_run_serves_every_file_from_cache(self, make_module,
+                                                   tmp_path):
+        make_module("pkg.mod", "x = 1\n")
+        make_module("pkg.other", "y = 2\n")
+        cache_path = tmp_path / "cache.json"
+        cold = run(tmp_path, cache_path)
+        assert cold.files_from_cache == 0
+        warm = run(tmp_path, cache_path)
+        assert warm.files_checked == cold.files_checked
+        assert warm.files_from_cache == warm.files_checked
+
+    def test_cached_violations_survive_the_round_trip(self, make_module,
+                                                      tmp_path):
+        make_module("repro.flows.bad",
+                    "import random\n\nvalue = random.random()\n")
+        cache_path = tmp_path / "cache.json"
+        cold = run(tmp_path, cache_path)
+        warm = run(tmp_path, cache_path)
+        assert [v.to_dict() for v in warm.violations] == \
+            [v.to_dict() for v in cold.violations]
+        assert warm.violations, "seeded RPR001 finding should persist"
+
+    def test_modified_file_is_relinted(self, make_module, tmp_path):
+        path = make_module("pkg.mod", "x = 1\n")
+        cache_path = tmp_path / "cache.json"
+        run(tmp_path, cache_path)
+        path.write_text("x = 1\ny = 2\n")  # size change busts the key
+        warm = run(tmp_path, cache_path)
+        assert warm.files_from_cache == warm.files_checked - 1
+
+    def test_rule_selection_change_busts_the_entry(self, make_module,
+                                                   tmp_path):
+        make_module("pkg.mod", "x = 1\n")
+        cache_path = tmp_path / "cache.json"
+        lint_paths([tmp_path / "src"], select=["RPR001"],
+                   cache=LintCache(cache_path))
+        full = run(tmp_path, cache_path)
+        assert full.files_from_cache == 0
+
+
+class TestInvalidation:
+    def test_stale_fingerprint_discards_all_entries(self, make_module,
+                                                    tmp_path):
+        make_module("pkg.mod", "x = 1\n")
+        cache_path = tmp_path / "cache.json"
+        run(tmp_path, cache_path)
+        payload = json.loads(cache_path.read_text())
+        assert payload["fingerprint"] == checks_fingerprint()
+        payload["fingerprint"] = "0" * 16
+        cache_path.write_text(json.dumps(payload))
+        warm = run(tmp_path, cache_path)
+        assert warm.files_from_cache == 0
+
+    def test_corrupt_cache_file_is_ignored(self, make_module, tmp_path):
+        make_module("pkg.mod", "x = 1\n")
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{not json")
+        result = run(tmp_path, cache_path)
+        assert result.errors == []
+        assert result.files_checked == 2  # __init__ + mod
+
+    def test_unwritable_save_is_nonfatal(self, make_module, tmp_path):
+        make_module("pkg.mod", "x = 1\n")
+        missing_dir = tmp_path / "no" / "such" / "dir" / "cache.json"
+        result = run(tmp_path, missing_dir)
+        assert result.errors == []
+
+    def test_default_path_is_gitignored_name(self):
+        assert DEFAULT_CACHE_PATH == ".repro_lint_cache.json"

@@ -5,8 +5,10 @@ import json
 
 import pytest
 
+import ast
+
 from repro.checks import lint_paths, resolve_codes, run_lint
-from repro.checks.engine import module_name
+from repro.checks.engine import expand_noqa_map, module_name, statement_spans
 from repro.checks.registry import RULES, Rule, register
 from repro.errors import CheckError
 
@@ -47,6 +49,70 @@ class TestNoqa:
     def test_noqa_only_covers_its_line(self, make_module):
         source = "# repro: noqa\ntry:\n    x = 1\nexcept:\n    x = 2\n"
         assert codes(lint_paths([make_module("scratch", source)])) == ["RPR010"]
+
+
+class TestLogicalLineNoqa:
+    """A noqa anywhere on a multi-line statement (or its decorators)
+    covers the whole logical line, so findings anchored on the first
+    line are suppressible from wherever the comment reads best."""
+
+    def test_noqa_on_decorator_suppresses_def_line_finding(self,
+                                                           make_module):
+        source = (
+            "import functools\n"
+            "\n"
+            "\n"
+            "@functools.wraps(dict)  # repro: noqa[RPR070]\n"
+            "def explain(target):\n"
+            "    return target\n"
+        )
+        result = lint_paths([make_module("repro.explain.scratch", source)])
+        assert "RPR070" not in codes(result)
+
+    def test_noqa_on_closing_line_of_multiline_def(self, make_module):
+        source = (
+            "def explain(\n"
+            "    target,\n"
+            "):  # repro: noqa[RPR070]\n"
+            "    return target\n"
+        )
+        result = lint_paths([make_module("repro.explain.scratch", source)])
+        assert "RPR070" not in codes(result)
+
+    def test_unsuppressed_twin_still_fires(self, make_module):
+        source = (
+            "def explain(\n"
+            "    target,\n"
+            "):\n"
+            "    return target\n"
+        )
+        result = lint_paths([make_module("repro.explain.scratch", source)])
+        assert "RPR070" in codes(result)
+
+    def test_statement_spans_cover_decorators_and_headers(self):
+        tree = ast.parse(
+            "@deco(\n"      # 1
+            "    1,\n"      # 2
+            ")\n"           # 3
+            "def f(\n"      # 4
+            "    a,\n"      # 5
+            "):\n"          # 6
+            "    return a\n"  # 7
+        )
+        assert (1, 6) in set(statement_spans(tree))
+
+    def test_expand_noqa_map_spreads_codes_across_span(self):
+        tree = ast.parse("x = [\n    1,\n    2,\n]\n")
+        literal = {3: frozenset({"RPR001"})}
+        effective = expand_noqa_map(literal, tree)
+        assert effective[1] == frozenset({"RPR001"})
+        assert effective[4] == frozenset({"RPR001"})
+
+    def test_suppress_all_wins_within_a_span(self):
+        tree = ast.parse("x = [\n    1,\n]\n")
+        literal = {1: frozenset({"RPR001"}), 2: None}
+        effective = expand_noqa_map(literal, tree)
+        assert effective[1] is None and effective[3] is None
 
 
 class TestExitCodes:

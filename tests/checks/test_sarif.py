@@ -1,0 +1,80 @@
+"""SARIF 2.1.0 output: document shape, rule metadata, result anchoring."""
+
+import json
+
+from repro.checks import lint_paths, run_lint, to_sarif
+from repro.checks.registry import all_rules
+
+
+def document(tmp_path):
+    result = lint_paths([tmp_path / "src"])
+    return to_sarif(result), result
+
+
+class TestDocumentShape:
+    def test_top_level_envelope(self, make_module, tmp_path):
+        make_module("pkg.mod", "x = 1\n")
+        doc, _ = document(tmp_path)
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-2.1.0.json")
+        assert len(doc["runs"]) == 1
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert len(driver["rules"]) == len(all_rules())
+
+    def test_every_registered_rule_is_described(self, make_module, tmp_path):
+        make_module("pkg.mod", "x = 1\n")
+        doc, _ = document(tmp_path)
+        described = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert described == {r.code for r in all_rules()}
+        for rule in doc["runs"][0]["tool"]["driver"]["rules"]:
+            assert rule["fullDescription"]["text"]
+
+    def test_clean_run_has_no_results(self, make_module, tmp_path):
+        make_module("pkg.mod", "x = 1\n")
+        doc, _ = document(tmp_path)
+        run = doc["runs"][0]
+        assert run["results"] == []
+        assert run["invocations"][0]["executionSuccessful"] is True
+
+
+class TestResults:
+    def test_finding_maps_to_one_based_region(self, make_module, tmp_path):
+        make_module("repro.flows.bad",
+                    "import random\n\nvalue = random.random()\n")
+        doc, result = document(tmp_path)
+        results = doc["runs"][0]["results"]
+        assert len(results) == len(result.violations) >= 1
+        entry = results[0]
+        violation = result.violations[0]
+        assert entry["ruleId"] == violation.code
+        region = entry["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == violation.line
+        assert region["startColumn"] == violation.col + 1  # 1-based
+        index = entry["ruleIndex"]
+        assert doc["runs"][0]["tool"]["driver"]["rules"][index]["id"] == \
+            violation.code
+
+    def test_engine_errors_become_notifications(self, make_module, tmp_path):
+        make_module("pkg.broken", "def broken(:\n")
+        doc, result = document(tmp_path)
+        invocation = doc["runs"][0]["invocations"][0]
+        assert invocation["executionSuccessful"] is False
+        notes = invocation["toolExecutionNotifications"]
+        assert len(notes) == len(result.errors) == 1
+        assert "syntax error" in notes[0]["message"]["text"]
+
+
+class TestCliFormat:
+    def test_run_lint_emits_parseable_sarif(self, make_module, tmp_path,
+                                            capsys):
+        make_module("pkg.mod", "x = 1\n")
+        code = run_lint([str(tmp_path / "src")], output_format="sarif")
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+
+    def test_unknown_format_is_a_usage_error(self, tmp_path, capsys):
+        code = run_lint([str(tmp_path)], output_format="yaml")
+        assert code == 2
+        assert "unknown format" in capsys.readouterr().out
